@@ -1,0 +1,54 @@
+// Command lancet-bench regenerates the paper's evaluation tables and
+// figures (Figs. 2, 6, 11-16 plus the routing-equivalence checks) and
+// writes them as markdown under -out.
+//
+// Usage:
+//
+//	lancet-bench                 # everything, full grids
+//	lancet-bench -quick          # 16-GPU grids only
+//	lancet-bench -only fig11     # one experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"lancet/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lancet-bench: ")
+	var (
+		only  = flag.String("only", "", "run a single experiment: "+strings.Join(experiments.Names, ", "))
+		quick = flag.Bool("quick", false, "shrink sweep grids (16 GPUs only)")
+		out   = flag.String("out", "results", "output directory for markdown tables")
+	)
+	flag.Parse()
+
+	start := time.Now()
+	var tables []*experiments.Table
+	if *only != "" {
+		t, err := experiments.Run(*only, *quick)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tables = append(tables, t)
+	} else {
+		var err error
+		tables, err = experiments.RunAll(*quick)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, t := range tables {
+		fmt.Print(t.Markdown())
+	}
+	if err := experiments.WriteMarkdown(*out, tables); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %d tables to %s/ in %s\n", len(tables), *out, time.Since(start).Round(time.Millisecond))
+}

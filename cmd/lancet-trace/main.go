@@ -1,0 +1,57 @@
+// Command lancet-trace simulates one training iteration and writes a Chrome
+// trace (chrome://tracing, ui.perfetto.dev) showing the two device streams,
+// so Lancet's computation-communication pipelines can be inspected next to
+// a baseline's exposed all-to-alls.
+//
+// Usage:
+//
+//	lancet-trace -framework lancet -out lancet.json
+//	lancet-trace -framework tutel -out tutel.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"lancet"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lancet-trace: ")
+	var (
+		clusterT  = flag.String("cluster", "V100", "cluster GPU type")
+		gpus      = flag.Int("gpus", 16, "total GPUs")
+		framework = flag.String("framework", "lancet", "deepspeed, raf, tutel or lancet")
+		out       = flag.String("out", "trace.json", "output file")
+		large     = flag.Bool("large", false, "use GPT2-L-MoE instead of GPT2-S-MoE")
+	)
+	flag.Parse()
+
+	cfg := lancet.GPT2SMoE(0)
+	if *large {
+		cfg = lancet.GPT2LMoE(0)
+	}
+	cluster, err := lancet.NewCluster(*clusterT, *gpus)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess, err := lancet.NewSession(cfg, cluster)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := sess.Baseline(*framework)
+	if err != nil {
+		log.Fatal(err)
+	}
+	data, err := plan.ChromeTrace(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (%d instructions, load in chrome://tracing)\n", *out, len(plan.Graph.Instrs))
+}

@@ -1,0 +1,136 @@
+package lancet
+
+import (
+	"math/rand"
+
+	"lancet/internal/moe"
+	"lancet/internal/tensor"
+)
+
+// EquivalenceResult reports whether micro-batched gating with capacity
+// passing reproduced unpartitioned routing exactly (paper Sec. 2.3,
+// Challenge 1).
+type EquivalenceResult struct {
+	Gate             string
+	PartialBatchSafe bool
+	MicroBatches     int
+	DroppedWhole     int
+	DroppedMicro     int
+	// OutputsIdentical is bitwise equality of the MoE layer outputs.
+	OutputsIdentical bool
+}
+
+// VerifyGateEquivalence runs a functional MoE layer (8 devices, 2 experts
+// each, tight capacity) once unpartitioned and once split into the given
+// number of micro-batches with capacity passing, and compares routing and
+// outputs bit-exactly. Partial-batch-safe gates (Switch, Top-2, Random,
+// Hash) must come back identical; Batch Prioritized Routing must not —
+// that asymmetry is what restricts Lancet's partition range per gate.
+func VerifyGateEquivalence(gate GateKind, microBatches int) (*EquivalenceResult, error) {
+	cfg := moe.Config{Devices: 8, ExpertsPerDevice: 2, Capacity: 4, Hidden: 16, FFN: 32}
+	layer, err := moe.NewLayer(cfg, 2024)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(5))
+	xs := make([]*tensor.Tensor, cfg.Devices)
+	for d := range xs {
+		xs[d] = tensor.Randn(rng, 1, 48, cfg.Hidden)
+	}
+	impl := gateFor(gate)
+	whole, wStats := layer.Forward(xs, impl)
+	part, pStats := layer.ForwardMicroBatched(xs, impl, microBatches)
+	identical := wStats.Dropped == pStats.Dropped
+	if identical {
+		for d := range whole {
+			if !whole[d].Equal(part[d]) {
+				identical = false
+				break
+			}
+		}
+	}
+	return &EquivalenceResult{
+		Gate:             impl.Name(),
+		PartialBatchSafe: gate.SupportsPartialBatch(),
+		MicroBatches:     microBatches,
+		DroppedWhole:     wStats.Dropped,
+		DroppedMicro:     pStats.Dropped,
+		OutputsIdentical: identical,
+	}, nil
+}
+
+// TrainingEquivalenceResult reports whether a short training run (forward,
+// backward, SGD updates) stayed bit-identical under micro-batched gating.
+type TrainingEquivalenceResult struct {
+	Gate             string
+	MicroBatches     int
+	Steps            int
+	WeightsIdentical bool
+}
+
+// VerifyTrainingEquivalence trains a functional MoE layer for the given
+// number of SGD steps twice — once unpartitioned, once with micro-batched
+// gating — and compares the resulting expert weights bit-exactly. This is
+// the end-to-end form of the paper's claim that Lancet's transformations
+// "maintain mathematical equivalence (i.e., the model accuracy remains
+// unaffected)": not just routing, but the entire optimization trajectory.
+func VerifyTrainingEquivalence(gate GateKind, microBatches, steps int) (*TrainingEquivalenceResult, error) {
+	run := func(k int) (*moe.Layer, error) {
+		cfg := moe.Config{Devices: 4, ExpertsPerDevice: 2, Capacity: 4, Hidden: 12, FFN: 24}
+		layer, err := moe.NewLayer(cfg, 42)
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(7))
+		impl := gateFor(gate)
+		for s := 0; s < steps; s++ {
+			xs := make([]*tensor.Tensor, cfg.Devices)
+			dOut := make([]*tensor.Tensor, cfg.Devices)
+			for d := range xs {
+				xs[d] = tensor.Randn(rng, 1, 20, cfg.Hidden)
+				dOut[d] = tensor.Randn(rng, 0.1, 20, cfg.Hidden)
+			}
+			_, _, grads := layer.ForwardBackward(xs, dOut, impl, k)
+			layer.SGDStep(grads, 0.01)
+		}
+		return layer, nil
+	}
+	whole, err := run(1)
+	if err != nil {
+		return nil, err
+	}
+	micro, err := run(microBatches)
+	if err != nil {
+		return nil, err
+	}
+	identical := true
+	for e := range whole.W1 {
+		if !whole.W1[e].Equal(micro.W1[e]) || !whole.W2[e].Equal(micro.W2[e]) {
+			identical = false
+			break
+		}
+	}
+	return &TrainingEquivalenceResult{
+		Gate:             gateFor(gate).Name(),
+		MicroBatches:     microBatches,
+		Steps:            steps,
+		WeightsIdentical: identical,
+	}, nil
+}
+
+func gateFor(k GateKind) moe.Gate {
+	switch k {
+	case GateTop2:
+		return moe.Top2Gate{}
+	case GateBatchPriority:
+		return moe.BatchPrioritizedGate{}
+	case GateRandom:
+		return moe.RandomGate{Seed: 99}
+	case GateHash:
+		return moe.HashGate{}
+	case GateExpertChoice:
+		return moe.ExpertChoiceGate{}
+	default:
+		return moe.SwitchGate{}
+	}
+}

@@ -1,0 +1,39 @@
+// Scaling: the weak-scaling experiment of paper Fig. 11 — per-GPU batch
+// fixed, experts scaling with the cluster — showing how the all-to-all
+// share of the iteration grows with GPU count and how much of it Lancet
+// recovers on both cluster generations.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lancet"
+)
+
+func main() {
+	for _, gpuType := range []string{"V100", "A100"} {
+		fmt.Printf("== %s cluster, GPT2-S-MoE, Switch gate ==\n", gpuType)
+		fmt.Printf("%5s %9s %10s %10s %9s %22s\n",
+			"GPUs", "experts", "Tutel(ms)", "Lancet(ms)", "speedup", "non-ovl a2a: T->L (ms)")
+		for _, gpus := range []int{8, 16, 32, 64} {
+			sess, err := lancet.NewSession(lancet.GPT2SMoE(0), lancet.MustCluster(gpuType, gpus))
+			if err != nil {
+				log.Fatal(err)
+			}
+			tut, err := sess.Baseline(lancet.FrameworkTutel)
+			if err != nil {
+				log.Fatal(err)
+			}
+			lan, err := sess.Lancet(lancet.Options{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			t, l := tut.MustSimulate(int64(gpus)), lan.MustSimulate(int64(gpus))
+			fmt.Printf("%5d %9d %10.1f %10.1f %8.2fx %11.1f -> %6.1f\n",
+				gpus, sess.Built.TotalExperts, t.IterationMs, l.IterationMs,
+				t.IterationMs/l.IterationMs, t.NonOverlappedA2AMs, l.NonOverlappedA2AMs)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,38 @@
+// Tracing: dump Chrome traces of one simulated iteration for RAF (exposed
+// all-to-alls) and Lancet (dW computation packed behind backward
+// all-to-alls, forward pipelines interleaving micro-partitions) for visual
+// inspection in chrome://tracing or ui.perfetto.dev.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"lancet"
+)
+
+func main() {
+	sess, err := lancet.NewSession(lancet.GPT2SMoE(0), lancet.MustCluster("A100", 16))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, fw := range []string{lancet.FrameworkRAF, lancet.FrameworkLancet} {
+		plan, err := sess.Baseline(fw)
+		if err != nil {
+			log.Fatal(err)
+		}
+		data, err := plan.ChromeTrace(1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		name := fmt.Sprintf("trace_%s.json", fw)
+		if err := os.WriteFile(name, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		r := plan.MustSimulate(1)
+		fmt.Printf("wrote %-18s %4d instructions, iteration %6.1f ms, overlap %5.1f ms\n",
+			name, len(plan.Graph.Instrs), r.IterationMs, r.OverlapMs)
+	}
+	fmt.Println("\nopen the traces in chrome://tracing — compare the comm-stream gaps.")
+}

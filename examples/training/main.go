@@ -1,0 +1,36 @@
+// Training: the strongest form of the paper's mathematical-equivalence
+// claim. A functional MoE layer is trained for several SGD steps (real
+// float32 forward, backward and weight updates) once unpartitioned and once
+// with Lancet's capacity-passing micro-batched gating. For arrival-order
+// gates the resulting weights are bit-identical — the optimization changes
+// the schedule, not the model. Batch-dependent gates are not preserved,
+// which is exactly why Lancet restricts their partition range instead.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lancet"
+)
+
+func main() {
+	fmt.Println("training a functional MoE layer for 5 SGD steps, unpartitioned vs micro-batched")
+	fmt.Println()
+	fmt.Printf("%-20s %12s %8s %18s\n", "gate", "micro-batches", "steps", "weights identical")
+	for _, gate := range []lancet.GateKind{
+		lancet.GateSwitch, lancet.GateTop2, lancet.GateRandom,
+		lancet.GateHash, lancet.GateBatchPriority,
+	} {
+		for _, k := range []int{2, 4} {
+			res, err := lancet.VerifyTrainingEquivalence(gate, k, 5)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-20s %12d %8d %18v\n", res.Gate, res.MicroBatches, res.Steps, res.WeightsIdentical)
+		}
+	}
+	fmt.Println()
+	fmt.Println("Arrival-order gates train to bit-identical weights under any micro-batching;")
+	fmt.Println("batch-prioritized routing diverges, so Lancet only partitions after its MoE layers.")
+}

@@ -1,0 +1,235 @@
+package lancet
+
+import (
+	"testing"
+)
+
+func TestSharedExpertIncreasesOverlap(t *testing.T) {
+	plain := GPT2SMoE(0)
+	shared := plain
+	shared.SharedExpert = true
+	cl := MustCluster("V100", 16)
+	run := func(cfg ModelConfig) *Report {
+		sess, err := NewSession(cfg, cl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := sess.Lancet(Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p.MustSimulate(4)
+	}
+	rp, rs := run(plain), run(shared)
+	if rs.OverlapMs <= rp.OverlapMs {
+		t.Errorf("shared expert should raise overlap: %.1f vs %.1f ms", rs.OverlapMs, rp.OverlapMs)
+	}
+	if rs.NonOverlappedA2AMs >= rp.NonOverlappedA2AMs {
+		t.Errorf("shared expert should hide more a2a: %.1f vs %.1f ms",
+			rs.NonOverlappedA2AMs, rp.NonOverlappedA2AMs)
+	}
+}
+
+func TestPrioritizeAllToAllIsSafe(t *testing.T) {
+	s := newTestSession(t)
+	plain, err := s.Lancet(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prio, err := s.Lancet(Options{PrioritizeAllToAll: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0, p1 := plain.MustSimulate(6), prio.MustSimulate(6)
+	// The pass must never cost more than a small scheduling epsilon.
+	if p1.IterationMs > p0.IterationMs*1.02 {
+		t.Errorf("comm priority pass regressed iteration: %.1f -> %.1f ms",
+			p0.IterationMs, p1.IterationMs)
+	}
+}
+
+func TestExpertChoiceGateRestrictsLikeBPR(t *testing.T) {
+	cfg := GPT2SMoE(0)
+	cfg.Gate = GateExpertChoice
+	s, err := NewSession(cfg, MustCluster("V100", 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := s.Lancet(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raf, err := s.Baseline(FrameworkRAF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.MustSimulate(1).IterationMs >= raf.MustSimulate(1).IterationMs {
+		t.Error("Lancet with expert-choice gating should still beat the baseline")
+	}
+	res, err := VerifyGateEquivalence(GateExpertChoice, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PartialBatchSafe || res.OutputsIdentical {
+		t.Error("expert choice must not survive batch splitting")
+	}
+}
+
+func TestRhoFallbackOnTightMemory(t *testing.T) {
+	// Shrink device memory until partition staging would not fit; rho must
+	// halve rather than OOM.
+	cl := MustCluster("V100", 16)
+	sess, err := NewSession(GPT2SMoE(0), cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := sess.Lancet(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.RhoUsed != 8 {
+		t.Fatalf("ample memory should keep rho=8, got %d", full.RhoUsed)
+	}
+
+	tight := cl
+	// Footprint is ~10.89e9 bytes; 10.3 GiB leaves less headroom than the
+	// chosen pipelines' staging buffers need, forcing the rho fallback.
+	tight.Node.GPU.MemGB = 10.3
+	sessT, err := NewSession(GPT2SMoE(0), tight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduced, err := sessT.Lancet(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reduced.RhoUsed >= full.RhoUsed {
+		t.Errorf("tight memory should reduce rho below %d, got %d", full.RhoUsed, reduced.RhoUsed)
+	}
+	for _, in := range reduced.Graph.Instrs {
+		if in.NumParts > reduced.RhoUsed {
+			t.Errorf("instance %s exceeds reduced rho: %d > %d", in.Name, in.NumParts, reduced.RhoUsed)
+		}
+	}
+}
+
+func TestSimulateNStats(t *testing.T) {
+	s := newTestSession(t)
+	plan, err := s.Baseline(FrameworkRAF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := plan.SimulateN(8, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Runs != 8 {
+		t.Errorf("Runs = %d", st.Runs)
+	}
+	if st.StdMs <= 0 {
+		t.Error("different seeds must produce variance")
+	}
+	if st.MinMs > st.MeanMs || st.MeanMs > st.MaxMs {
+		t.Errorf("ordering violated: min %v mean %v max %v", st.MinMs, st.MeanMs, st.MaxMs)
+	}
+	if st.StdMs > st.MeanMs*0.1 {
+		t.Errorf("std %v implausibly large vs mean %v", st.StdMs, st.MeanMs)
+	}
+	if d := st.MeanReport.IterationMs - st.MeanMs; d > 1e-9 || d < -1e-9 {
+		t.Error("mean report iteration must equal MeanMs")
+	}
+	// Deterministic for the same base seed.
+	st2, err := plan.SimulateN(8, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MeanMs != st2.MeanMs || st.StdMs != st2.StdMs {
+		t.Error("SimulateN must be reproducible")
+	}
+}
+
+func TestWorkloadSkewDegradesIrregularAdvantage(t *testing.T) {
+	run := func(skew float64) (lanA2A, rafA2A float64) {
+		sess, err := NewSession(GPT2SMoE(0), MustCluster("V100", 16))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess.WorkloadSkew = skew
+		raf, err := sess.Baseline(FrameworkRAF)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lan, err := sess.Lancet(Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return lan.MustSimulate(3).AllToAllMs, raf.MustSimulate(3).AllToAllMs
+	}
+	lanBal, rafBal := run(0)
+	lanSkew, rafSkew := run(2.0)
+	// Padded baselines are skew-insensitive.
+	if d := rafSkew - rafBal; d > 1 || d < -1 {
+		t.Errorf("RAF a2a moved under skew: %.1f -> %.1f ms", rafBal, rafSkew)
+	}
+	// The irregular a2a loses (most of) its padding advantage under skew.
+	if lanSkew <= lanBal {
+		t.Errorf("skew should slow the irregular a2a: %.1f -> %.1f ms", lanBal, lanSkew)
+	}
+	// But never beyond the padded bound (plus jitter/size-exchange slack).
+	if lanSkew > rafSkew*1.05 {
+		t.Errorf("irregular a2a %.1f ms exceeds padded bound %.1f ms", lanSkew, rafSkew)
+	}
+}
+
+func TestFasterMoEBaselineGainsUnderSkew(t *testing.T) {
+	run := func(skew float64) (fm, tut float64) {
+		sess, err := NewSession(GPT2SMoE(0), MustCluster("V100", 16))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess.WorkloadSkew = skew
+		f, err := sess.Baseline(FrameworkFasterMoE)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tu, err := sess.Baseline(FrameworkTutel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f.MustSimulate(2).IterationMs, tu.MustSimulate(2).IterationMs
+	}
+	fmBal, tutBal := run(0)
+	fmSkew, tutSkew := run(2.0)
+	// Balanced: shadowing idle, FasterMoE ~ Tutel.
+	if d := fmBal/tutBal - 1; d > 0.05 || d < -0.05 {
+		t.Errorf("balanced FasterMoE %.1f should track Tutel %.1f", fmBal, tutBal)
+	}
+	// Skewed: shadowing must pull ahead of Tutel.
+	if fmSkew >= tutSkew {
+		t.Errorf("skewed FasterMoE %.1f should beat Tutel %.1f", fmSkew, tutSkew)
+	}
+}
+
+func TestViTClassifierEndToEnd(t *testing.T) {
+	sess, err := NewSession(ViTSMoE(0), MustCluster("A100", 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raf, err := sess.Baseline(FrameworkRAF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lan, err := sess.Lancet(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0, r1 := raf.MustSimulate(1), lan.MustSimulate(1)
+	if r1.IterationMs >= r0.IterationMs {
+		t.Errorf("Lancet should speed up ViT-MoE: %.1f -> %.1f ms", r0.IterationMs, r1.IterationMs)
+	}
+	// BPR restricts partitioning to after the MoE layer; pipelines still
+	// form.
+	if lan.PipelineRanges == 0 {
+		t.Error("expected pipelines on the vision model")
+	}
+}

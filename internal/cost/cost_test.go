@@ -1,0 +1,290 @@
+package cost
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lancet/internal/hw"
+	"lancet/internal/ir"
+)
+
+func newTestModel() *Model { return NewModel(hw.V100Cluster(2)) }
+
+func mm(flops float64) *ir.Instr {
+	return &ir.Instr{Op: ir.OpMatMul, FLOPs: flops}
+}
+
+func TestComputeMonotonicInWork(t *testing.T) {
+	m := newTestModel()
+	prev := 0.0
+	for _, f := range []float64{1e6, 1e8, 1e9, 1e10, 1e11} {
+		cur := m.GroundComputeUs(mm(f))
+		if cur <= prev {
+			t.Errorf("compute time not increasing: %v FLOPs -> %v us (prev %v)", f, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestKernelLaunchFloor(t *testing.T) {
+	m := newTestModel()
+	tiny := m.GroundComputeUs(mm(1))
+	if tiny < m.Cluster.Node.GPU.KernelLaunchUs {
+		t.Errorf("tiny kernel %v us below launch overhead", tiny)
+	}
+}
+
+// Partitioning an op into k parts must cost more in total than the whole op
+// (launch overhead + lower efficiency) — the penalty driving Fig. 6.
+func TestPartitionOverhead(t *testing.T) {
+	m := newTestModel()
+	whole := m.GroundComputeUs(mm(1e10))
+	for _, k := range []int{2, 4, 8} {
+		part := m.GroundComputeUs(mm(1e10 / float64(k)))
+		if float64(k)*part <= whole {
+			t.Errorf("k=%d: total partitioned time %v <= whole %v", k, float64(k)*part, whole)
+		}
+	}
+}
+
+func TestEfficiencyRampsWithSize(t *testing.T) {
+	m := newTestModel()
+	small := m.effFLOPS(1e7)
+	large := m.effFLOPS(1e12)
+	if small >= large {
+		t.Errorf("efficiency should grow with kernel size: %v >= %v", small, large)
+	}
+	peak := m.Cluster.Node.GPU.PeakTFLOPS * 1e12 * m.Cluster.Node.GPU.MaxUtilization
+	if large > peak {
+		t.Errorf("efficiency exceeds calibrated max: %v > %v", large, peak)
+	}
+}
+
+func TestA2AGroundTruth(t *testing.T) {
+	m := newTestModel()
+	g := m.Cluster.TotalGPUs()
+	if got := m.groundAllToAllUs(0, g); got != 0 {
+		t.Errorf("empty a2a should be free, got %v", got)
+	}
+	if got := m.groundAllToAllUs(1<<20, 1); got != 0 {
+		t.Errorf("single-device a2a should be free, got %v", got)
+	}
+	small := m.groundAllToAllUs(1<<16, g)
+	big := m.groundAllToAllUs(1<<26, g)
+	if small >= big {
+		t.Errorf("a2a not monotonic: %v >= %v", small, big)
+	}
+}
+
+func TestA2AFasterOnA100Cluster(t *testing.T) {
+	v := NewModel(hw.V100Cluster(4))
+	a := NewModel(hw.A100Cluster(4))
+	bytes := int64(16 << 20)
+	tv := v.groundAllToAllUs(bytes, 32)
+	ta := a.groundAllToAllUs(bytes, 32)
+	if ta >= tv {
+		t.Errorf("p4de (4 NICs) a2a %v us should beat p3dn (1 NIC) %v us", ta, tv)
+	}
+}
+
+func TestInterpolationAccuracy(t *testing.T) {
+	m := newTestModel()
+	g := m.Cluster.TotalGPUs()
+	// The paper observes the interpolated table is an accurate stand-in for
+	// profiled collectives; check against ground truth at off-grid sizes.
+	for _, b := range []int64{3 << 10, 700 << 10, 5 << 20, 99 << 20} {
+		pred := m.PredictComm(ir.OpAllToAll, b, g)
+		truth := m.groundAllToAllUs(b, g)
+		relErr := math.Abs(pred-truth) / truth
+		if relErr > 0.05 {
+			t.Errorf("bytes=%d: interpolation error %.2f%% > 5%%", b, relErr*100)
+		}
+	}
+}
+
+func TestInterpolationEdges(t *testing.T) {
+	m := newTestModel()
+	g := m.Cluster.TotalGPUs()
+	below := m.PredictComm(ir.OpAllToAll, 100, g)
+	if below <= 0 {
+		t.Errorf("sub-table size should still cost > 0, got %v", below)
+	}
+	huge := m.PredictComm(ir.OpAllToAll, 3*maxProfiledBytes, g)
+	edge := m.PredictComm(ir.OpAllToAll, maxProfiledBytes, g)
+	if huge <= edge {
+		t.Errorf("extrapolation should exceed table edge: %v <= %v", huge, edge)
+	}
+}
+
+func TestProfileCacheReuse(t *testing.T) {
+	m := newTestModel()
+	in := mm(12345678)
+	t1 := m.PredictInstr(in)
+	before := m.ProfiledOps()
+	t2 := m.PredictInstr(in)
+	if t1 != t2 {
+		t.Errorf("cached profile changed: %v vs %v", t1, t2)
+	}
+	if m.ProfiledOps() != before {
+		t.Error("second identical prediction should hit the cache")
+	}
+	// A clearly different shape must profile anew.
+	m.PredictInstr(mm(99e9))
+	if m.ProfiledOps() != before+1 {
+		t.Error("different shape should miss the cache")
+	}
+}
+
+func TestPredictionNearGroundTruth(t *testing.T) {
+	m := newTestModel()
+	in := mm(5e9)
+	pred := m.PredictInstr(in)
+	truth := m.GroundComputeUs(in)
+	if rel := math.Abs(pred-truth) / truth; rel > 0.02 {
+		t.Errorf("profile noise %v > 2%%", rel)
+	}
+}
+
+func TestStaticShapeApproximation(t *testing.T) {
+	m := newTestModel()
+	g := m.Cluster.TotalGPUs()
+	bytes := int64(32 << 20)
+	whole := m.PredictA2APartitioned(bytes, g, 1)
+	if diff := math.Abs(whole - m.PredictComm(ir.OpAllToAll, bytes, g)); diff > 1e-9 {
+		t.Errorf("n=1 should equal unpartitioned prediction (diff %v)", diff)
+	}
+	quarter := m.PredictA2APartitioned(bytes, g, 4)
+	if quarter >= whole {
+		t.Error("partitioned micro-a2a should be cheaper than the whole")
+	}
+	if 4*quarter <= whole {
+		t.Error("4 micro-a2as should cost more in total than one big a2a (latency overhead)")
+	}
+}
+
+func TestIrregularA2AIncludesSizeExchange(t *testing.T) {
+	m := newTestModel()
+	g := m.Cluster.TotalGPUs()
+	bytes := int64(8 << 20)
+	irr := m.IrregularA2AUs(bytes, g)
+	plain := m.groundAllToAllUs(bytes, g)
+	if irr <= plain {
+		t.Error("irregular a2a must include the size-exchange phase")
+	}
+	// But moving less real data must beat the padded exchange.
+	if m.IrregularA2AUs(bytes/4, g) >= plain {
+		t.Error("irregular a2a with 25% payload should beat full padded a2a")
+	}
+}
+
+func TestAllReduceGroundTruth(t *testing.T) {
+	m := newTestModel()
+	g := m.Cluster.TotalGPUs()
+	small := m.groundAllReduceUs(1<<16, g)
+	big := m.groundAllReduceUs(1<<26, g)
+	if small >= big {
+		t.Error("allreduce not monotonic in volume")
+	}
+	// More nodes => inter-node ring factor (n-1)/n grows.
+	m8 := NewModel(hw.V100Cluster(8))
+	if m.groundAllReduceUs(1<<26, 16) >= m8.groundAllReduceUs(1<<26, 64) {
+		t.Error("allreduce should slow down with more nodes")
+	}
+}
+
+func TestComputeScale(t *testing.T) {
+	fast := newTestModel()
+	slow := NewModel(hw.V100Cluster(2))
+	slow.ComputeScale = 0.9
+	in := mm(1e10)
+	if slow.GroundComputeUs(in) <= fast.GroundComputeUs(in) {
+		t.Error("ComputeScale < 1 must slow compute down")
+	}
+}
+
+func TestActualInstrDispatch(t *testing.T) {
+	m := newTestModel()
+	comm := &ir.Instr{Op: ir.OpAllToAll, Bytes: 1 << 20, CommDevices: 16}
+	if m.ActualInstr(comm) != m.groundAllToAllUs(1<<20, 16) {
+		t.Error("ActualInstr(a2a) should be ground truth")
+	}
+	comp := mm(1e9)
+	if m.ActualInstr(comp) != m.GroundComputeUs(comp) {
+		t.Error("ActualInstr(compute) should be ground truth")
+	}
+}
+
+func TestPredictCommPanicsOnComputeOp(t *testing.T) {
+	m := newTestModel()
+	defer func() {
+		if recover() == nil {
+			t.Error("PredictComm on a compute op must panic")
+		}
+	}()
+	m.PredictComm(ir.OpMatMul, 1024, 16)
+}
+
+// Property: interpolation is monotonic in bytes for the profiled tables.
+func TestInterpolationMonotonicProperty(t *testing.T) {
+	m := newTestModel()
+	g := m.Cluster.TotalGPUs()
+	f := func(a, b uint32) bool {
+		x, y := int64(a)+1, int64(b)+1
+		if x > y {
+			x, y = y, x
+		}
+		return m.PredictComm(ir.OpAllToAll, x, g) <= m.PredictComm(ir.OpAllToAll, y, g)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: measurement noise is bounded and deterministic.
+func TestMeasurementNoiseProperty(t *testing.T) {
+	f := func(op, fl, by uint16) bool {
+		k := profileKey{op: ir.OpKind(op % 16), flops: int64(fl), bytes: int64(by)}
+		n1, n2 := measurementNoise(k), measurementNoise(k)
+		return n1 == n2 && n1 >= -0.015 && n1 <= 0.015
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBucketQuantization(t *testing.T) {
+	if bucket(0) != 0 || bucket(-5) != 0 {
+		t.Error("non-positive sizes bucket to 0")
+	}
+	if bucket(1000) != bucket(1010) {
+		t.Error("near-identical sizes should share a bucket")
+	}
+	if bucket(1000) == bucket(4000) {
+		t.Error("4x sizes must not share a bucket")
+	}
+}
+
+func TestAllGatherCheaperThanAllReduce(t *testing.T) {
+	m := newTestModel()
+	g := m.Cluster.TotalGPUs()
+	bytes := int64(32 << 20)
+	ag := m.groundAllGatherUs(bytes, g)
+	ar := m.groundAllReduceUs(bytes, g)
+	if ag >= ar {
+		t.Errorf("all-gather (%v us) moves half an all-reduce (%v us)", ag, ar)
+	}
+	// Reduce-scatter and all-gather share pricing.
+	rs := m.groundCommUs(ir.OpReduceScatter, bytes, g)
+	if rs != ag {
+		t.Errorf("reduce-scatter %v != all-gather %v", rs, ag)
+	}
+	// Interpolated prediction tracks ground truth.
+	pred := m.PredictComm(ir.OpAllGather, bytes, g)
+	if rel := math.Abs(pred-ag) / ag; rel > 0.05 {
+		t.Errorf("all-gather interpolation error %.1f%%", rel*100)
+	}
+	if m.groundAllGatherUs(0, g) != 0 || m.groundAllGatherUs(bytes, 1) != 0 {
+		t.Error("degenerate all-gathers should be free")
+	}
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Experiment names accepted by Run. The fig* entries regenerate the
+// paper's figures; the rest back Sec. 2.3 claims and Sec. 8 extensions.
+var Names = []string{
+	"fig2", "fig6", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+	"equiv", "a2a-padding", "shared-expert", "comm-priority", "skew", "imbalance", "fsdp", "fastermoe",
+}
+
+// Run executes one experiment by name. Quick mode shrinks sweep grids for
+// fast regression runs (benchmarks, CI).
+func Run(name string, quick bool) (*Table, error) {
+	counts := []int{16, 32, 64}
+	if quick {
+		counts = []int{16}
+	}
+	switch name {
+	case "fig2":
+		return Fig2Breakdown()
+	case "fig6":
+		return Fig6PartitionRange()
+	case "fig11":
+		return Fig11ThroughputSwitch(counts)
+	case "fig12":
+		return Fig12ThroughputBPR(counts)
+	case "fig13":
+		return Fig13Decomposition()
+	case "fig14":
+		return Fig14CostModel(counts)
+	case "fig15":
+		return Fig15OptimizationTime(counts)
+	case "fig16":
+		return Fig16Ablation()
+	case "equiv":
+		return EquivalenceCheck()
+	case "a2a-padding":
+		return PaddingSavings()
+	case "shared-expert":
+		return SharedExpertOverlap()
+	case "comm-priority":
+		return CommPriority()
+	case "skew":
+		return LoadSkew()
+	case "imbalance":
+		return Imbalance()
+	case "fsdp":
+		return FSDPInterference()
+	case "fastermoe":
+		return ShadowingComparison()
+	}
+	return nil, fmt.Errorf("experiments: unknown experiment %q (have %s)", name, strings.Join(Names, ", "))
+}
+
+// RunAll executes every experiment.
+func RunAll(quick bool) ([]*Table, error) {
+	var tables []*Table
+	for _, n := range Names {
+		t, err := Run(n, quick)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", n, err)
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// WriteMarkdown writes each table to dir/<id>.md and a combined
+// dir/all_results.md.
+func WriteMarkdown(dir string, tables []*Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	var all strings.Builder
+	all.WriteString("# Lancet reproduction — regenerated tables and figures\n\n")
+	for _, t := range tables {
+		md := t.Markdown()
+		all.WriteString(md)
+		if err := os.WriteFile(filepath.Join(dir, t.ID+".md"), []byte(md), 0o644); err != nil {
+			return err
+		}
+	}
+	return os.WriteFile(filepath.Join(dir, "all_results.md"), []byte(all.String()), 0o644)
+}

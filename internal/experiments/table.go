@@ -1,0 +1,47 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Sec. 7) as text tables: the motivation breakdown (Fig. 2),
+// the partition-range sweep (Fig. 6), throughput grids for Switch and
+// Batch-Prioritized gating (Figs. 11-12), the iteration decomposition
+// (Fig. 13), cost-model accuracy (Fig. 14), optimization time (Fig. 15),
+// the ablation (Fig. 16), and the routing-equivalence check backing
+// Sec. 2.3. Absolute numbers come from the simulated substrate; the shapes
+// (who wins, by what factor, where crossovers fall) are the reproduction
+// targets recorded in EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one regenerated figure/table.
+type Table struct {
+	ID     string // e.g. "fig11"
+	Title  string
+	Note   string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Markdown renders the table as GitHub-flavored markdown.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "## %s — %s\n\n", t.ID, t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(&b, "%s\n\n", t.Note)
+	}
+	b.WriteString("| " + strings.Join(t.Header, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(t.Header)) + "\n")
+	for _, r := range t.Rows {
+		b.WriteString("| " + strings.Join(r, " | ") + " |\n")
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+func ms(us float64) string { return fmt.Sprintf("%.1f", us/1000) }
+
+func ratio(a, b float64) string { return fmt.Sprintf("%.2fx", a/b) }

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lancet"
+)
+
+// throughputGrid runs the weak-scaling throughput comparison for one gate.
+func throughputGrid(id, title string, gate lancet.GateKind, frameworks []string, gpuCounts []int) (*Table, error) {
+	t := &Table{
+		ID:    id,
+		Title: title,
+		Note: "Weak scaling: per-GPU batch fixed at the paper's value, experts scale " +
+			"with GPUs (2 per GPU). Cells are simulated iteration time in ms; OOM " +
+			"marks configurations exceeding device memory.",
+		Header: append([]string{"Cluster", "Model", "GPUs"}, labelAll(frameworks)...),
+	}
+	for _, gpu := range []string{"V100", "A100"} {
+		for _, mk := range []func(int) lancet.ModelConfig{lancet.GPT2SMoE, lancet.GPT2LMoE} {
+			for _, gpus := range gpuCounts {
+				cfg := mk(0)
+				cfg.Gate = gate
+				sess, err := lancet.NewSession(cfg, lancet.MustCluster(gpu, gpus))
+				if err != nil {
+					return nil, err
+				}
+				row := []string{gpu, cfg.Name, fmt.Sprint(gpus)}
+				for _, fw := range frameworks {
+					plan, err := sess.Baseline(fw)
+					if err != nil {
+						return nil, err
+					}
+					if plan.OOM {
+						row = append(row, "OOM")
+						continue
+					}
+					r, err := plan.Simulate(int64(gpus))
+					if err != nil {
+						return nil, err
+					}
+					row = append(row, fmt.Sprintf("%.1f", r.IterationMs))
+				}
+				t.Rows = append(t.Rows, row)
+			}
+		}
+	}
+	return t, nil
+}
+
+func labelAll(fws []string) []string {
+	out := make([]string, len(fws))
+	for i, f := range fws {
+		out[i] = fwLabel(f) + " (ms)"
+	}
+	return out
+}
+
+// Fig11ThroughputSwitch reproduces Fig. 11: iteration time with the Switch
+// gate across clusters, models, GPU counts and frameworks.
+func Fig11ThroughputSwitch(gpuCounts []int) (*Table, error) {
+	return throughputGrid("fig11", "Training iteration time, Switch gate",
+		lancet.GateSwitch,
+		[]string{lancet.FrameworkDeepSpeed, lancet.FrameworkRAF, lancet.FrameworkTutel, lancet.FrameworkLancet},
+		gpuCounts)
+}
+
+// Fig12ThroughputBPR reproduces Fig. 12: iteration time with the Batch
+// Prioritized gate (partitioning restricted to after the MoE layer).
+func Fig12ThroughputBPR(gpuCounts []int) (*Table, error) {
+	return throughputGrid("fig12", "Training iteration time, Batch Prioritized gate",
+		lancet.GateBatchPriority,
+		[]string{lancet.FrameworkRAF, lancet.FrameworkTutel, lancet.FrameworkLancet},
+		gpuCounts)
+}
+
+// Fig16Ablation reproduces Fig. 16: speedup over RAF on 4 nodes with each
+// optimization disabled in turn.
+func Fig16Ablation() (*Table, error) {
+	t := &Table{
+		ID:    "fig16",
+		Title: "Ablation on 4 nodes (32 GPUs): speedup over RAF baseline",
+		Note: "-dW Schedule disables weight-gradient scheduling (partition pipelining " +
+			"only); -Pipeline disables operator partitioning (dW scheduling only). " +
+			"GPT2-L leans more on dW scheduling (higher partition overheads at its " +
+			"smaller batch), matching the paper.",
+		Header: []string{"Cluster", "Model", "Baseline", "-dW Schedule", "-Pipeline", "Full"},
+	}
+	for _, gpu := range []string{"V100", "A100"} {
+		for _, mk := range []func(int) lancet.ModelConfig{lancet.GPT2SMoE, lancet.GPT2LMoE} {
+			cfg := mk(0)
+			sess, err := lancet.NewSession(cfg, lancet.MustCluster(gpu, 32))
+			if err != nil {
+				return nil, err
+			}
+			raf, err := sess.Baseline(lancet.FrameworkRAF)
+			if err != nil {
+				return nil, err
+			}
+			base, err := raf.Simulate(16)
+			if err != nil {
+				return nil, err
+			}
+			variants := []lancet.Options{
+				{DisableDWSchedule: true}, // -dW
+				{DisablePartition: true},  // -Pipeline
+				{},                        // full
+			}
+			row := []string{gpu, cfg.Name, "1.00x"}
+			for _, opts := range variants {
+				plan, err := sess.Lancet(opts)
+				if err != nil {
+					return nil, err
+				}
+				r, err := plan.Simulate(16)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, fmt.Sprintf("%.2fx", base.IterationMs/r.IterationMs))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,164 @@
+// Package hw models the hardware substrate the paper evaluates on: GPU
+// accelerators (NVIDIA V100 and A100), intra-node interconnect (NVLink),
+// network interfaces, and multi-node cluster topologies matching the Amazon
+// EC2 p3dn.24xlarge and p4de.24xlarge instances used in the paper.
+//
+// All quantities are static specifications; timing derived from them lives in
+// package cost.
+package hw
+
+import "fmt"
+
+// GPUSpec describes a single accelerator.
+type GPUSpec struct {
+	Name string
+
+	// PeakTFLOPS is the peak half-precision tensor throughput in TFLOP/s.
+	PeakTFLOPS float64
+	// MemGB is the device memory capacity in GiB.
+	MemGB float64
+	// MemBWGBs is the device memory bandwidth in GB/s, governing
+	// memory-bound (elementwise, normalization, dispatch) operators.
+	MemBWGBs float64
+	// KernelLaunchUs is the fixed per-kernel launch overhead in
+	// microseconds. This is the cost that penalizes over-partitioning
+	// (paper Sec. 2.3, Challenge 2).
+	KernelLaunchUs float64
+	// SaturationGFLOP is the amount of work (in GFLOP) at which a single
+	// kernel reaches half of its peak utilization. Smaller kernels run at
+	// proportionally lower efficiency, modeling SM under-utilization of
+	// partitioned operators.
+	SaturationGFLOP float64
+	// MaxUtilization is the fraction of peak a well-shaped large GEMM
+	// achieves in practice.
+	MaxUtilization float64
+}
+
+// NICSpec describes the network interfaces of one node.
+type NICSpec struct {
+	// BandwidthGbps is the bandwidth of a single NIC in Gbit/s.
+	BandwidthGbps float64
+	// Count is the number of NICs per node (p4de has 4, p3dn has 1).
+	Count int
+}
+
+// NodeSpec is one multi-GPU server.
+type NodeSpec struct {
+	GPUsPerNode int
+	GPU         GPUSpec
+	NIC         NICSpec
+	// NVLinkGBs is the per-GPU intra-node interconnect bandwidth in GB/s.
+	NVLinkGBs float64
+}
+
+// Cluster is a homogeneous collection of nodes.
+type Cluster struct {
+	Name  string
+	Nodes int
+	Node  NodeSpec
+}
+
+// Predefined accelerator specs. Peak numbers are the published fp16 tensor
+// core figures; efficiency knobs are calibrated so large GEMMs land near
+// commonly measured utilization.
+var (
+	V100 = GPUSpec{
+		Name:            "V100",
+		PeakTFLOPS:      125,
+		MemGB:           32,
+		MemBWGBs:        900,
+		KernelLaunchUs:  8,
+		SaturationGFLOP: 3.0,
+		MaxUtilization:  0.45,
+	}
+	A100 = GPUSpec{
+		Name:            "A100-80GB",
+		PeakTFLOPS:      312,
+		MemGB:           80,
+		MemBWGBs:        2039,
+		KernelLaunchUs:  6,
+		SaturationGFLOP: 6.0,
+		MaxUtilization:  0.55,
+	}
+)
+
+// P3dn returns a p3dn.24xlarge-like node: 8x V100, one 100 Gbps NIC,
+// NVLink2 (~150 GB/s effective per GPU).
+func P3dn() NodeSpec {
+	return NodeSpec{
+		GPUsPerNode: 8,
+		GPU:         V100,
+		NIC:         NICSpec{BandwidthGbps: 100, Count: 1},
+		NVLinkGBs:   150,
+	}
+}
+
+// P4de returns a p4de.24xlarge-like node: 8x A100 80GB, four 100 Gbps NICs,
+// NVLink3 (~300 GB/s effective per GPU).
+func P4de() NodeSpec {
+	return NodeSpec{
+		GPUsPerNode: 8,
+		GPU:         A100,
+		NIC:         NICSpec{BandwidthGbps: 100, Count: 4},
+		NVLinkGBs:   300,
+	}
+}
+
+// NewCluster builds a cluster of n nodes with the given node spec.
+func NewCluster(name string, nodes int, node NodeSpec) Cluster {
+	return Cluster{Name: name, Nodes: nodes, Node: node}
+}
+
+// V100Cluster returns an n-node p3dn cluster (8 GPUs per node).
+func V100Cluster(nodes int) Cluster { return NewCluster("V100", nodes, P3dn()) }
+
+// A100Cluster returns an n-node p4de cluster (8 GPUs per node).
+func A100Cluster(nodes int) Cluster { return NewCluster("A100", nodes, P4de()) }
+
+// ClusterForGPUs returns a cluster of the given type sized to hold gpus
+// accelerators. gpus must be a multiple of the node size for multi-node
+// clusters; a single partial node is allowed for small experiments.
+func ClusterForGPUs(gpuType string, gpus int) (Cluster, error) {
+	var node NodeSpec
+	switch gpuType {
+	case "V100", "v100":
+		node = P3dn()
+	case "A100", "a100":
+		node = P4de()
+	default:
+		return Cluster{}, fmt.Errorf("hw: unknown GPU type %q", gpuType)
+	}
+	if gpus <= 0 {
+		return Cluster{}, fmt.Errorf("hw: invalid GPU count %d", gpus)
+	}
+	if gpus < node.GPUsPerNode {
+		node.GPUsPerNode = gpus
+		return NewCluster(gpuType, 1, node), nil
+	}
+	if gpus%node.GPUsPerNode != 0 {
+		return Cluster{}, fmt.Errorf("hw: %d GPUs is not a multiple of node size %d", gpus, node.GPUsPerNode)
+	}
+	return NewCluster(gpuType, gpus/node.GPUsPerNode, node), nil
+}
+
+// TotalGPUs is the number of accelerators in the cluster.
+func (c Cluster) TotalGPUs() int { return c.Nodes * c.Node.GPUsPerNode }
+
+// PerGPUNICGBs is the inter-node bandwidth available to one GPU in GB/s,
+// assuming the node's NICs are shared evenly across its GPUs.
+func (c Cluster) PerGPUNICGBs() float64 {
+	total := c.Node.NIC.BandwidthGbps * float64(c.Node.NIC.Count) / 8.0 // Gbit -> GB
+	return total / float64(c.Node.GPUsPerNode)
+}
+
+// SameNode reports whether two global GPU ranks live on the same node.
+func (c Cluster) SameNode(a, b int) bool {
+	return a/c.Node.GPUsPerNode == b/c.Node.GPUsPerNode
+}
+
+// MemBytes is the per-GPU memory capacity in bytes.
+func (c Cluster) MemBytes() float64 { return c.Node.GPU.MemGB * (1 << 30) }
+
+func (c Cluster) String() string {
+	return fmt.Sprintf("%s[%d nodes x %d %s]", c.Name, c.Nodes, c.Node.GPUsPerNode, c.Node.GPU.Name)
+}

@@ -1,0 +1,115 @@
+package hw
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestClusterForGPUs(t *testing.T) {
+	tests := []struct {
+		gpuType string
+		gpus    int
+		nodes   int
+		perNode int
+		wantErr bool
+	}{
+		{"V100", 16, 2, 8, false},
+		{"A100", 64, 8, 8, false},
+		{"v100", 8, 1, 8, false},
+		{"A100", 4, 1, 4, false}, // partial single node
+		{"V100", 12, 0, 0, true}, // not a multiple
+		{"H100", 8, 0, 0, true},  // unknown type
+		{"V100", 0, 0, 0, true},  // invalid count
+		{"V100", -8, 0, 0, true},
+	}
+	for _, tt := range tests {
+		c, err := ClusterForGPUs(tt.gpuType, tt.gpus)
+		if tt.wantErr {
+			if err == nil {
+				t.Errorf("ClusterForGPUs(%q,%d): want error, got %v", tt.gpuType, tt.gpus, c)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ClusterForGPUs(%q,%d): %v", tt.gpuType, tt.gpus, err)
+			continue
+		}
+		if c.Nodes != tt.nodes || c.Node.GPUsPerNode != tt.perNode {
+			t.Errorf("ClusterForGPUs(%q,%d) = %d nodes x %d, want %d x %d",
+				tt.gpuType, tt.gpus, c.Nodes, c.Node.GPUsPerNode, tt.nodes, tt.perNode)
+		}
+		if c.TotalGPUs() != tt.gpus {
+			t.Errorf("TotalGPUs = %d, want %d", c.TotalGPUs(), tt.gpus)
+		}
+	}
+}
+
+func TestPerGPUNICBandwidth(t *testing.T) {
+	v := V100Cluster(2)
+	// One 100 Gbps NIC shared by 8 GPUs: 12.5 GB/s / 8.
+	if got, want := v.PerGPUNICGBs(), 12.5/8; !closeTo(got, want) {
+		t.Errorf("V100 per-GPU NIC = %v, want %v", got, want)
+	}
+	a := A100Cluster(2)
+	// Four 100 Gbps NICs shared by 8 GPUs.
+	if got, want := a.PerGPUNICGBs(), 50.0/8; !closeTo(got, want) {
+		t.Errorf("A100 per-GPU NIC = %v, want %v", got, want)
+	}
+	if v.PerGPUNICGBs() >= a.PerGPUNICGBs() {
+		t.Error("p4de must have more per-GPU network bandwidth than p3dn")
+	}
+}
+
+func TestSameNode(t *testing.T) {
+	c := V100Cluster(2)
+	if !c.SameNode(0, 7) {
+		t.Error("ranks 0 and 7 should share node 0")
+	}
+	if c.SameNode(7, 8) {
+		t.Error("ranks 7 and 8 should be on different nodes")
+	}
+	if !c.SameNode(8, 15) {
+		t.Error("ranks 8 and 15 should share node 1")
+	}
+}
+
+func TestSpecSanity(t *testing.T) {
+	if A100.PeakTFLOPS <= V100.PeakTFLOPS {
+		t.Error("A100 must be faster than V100")
+	}
+	if A100.MemGB <= V100.MemGB {
+		t.Error("A100-80GB must have more memory than V100-32GB")
+	}
+	for _, g := range []GPUSpec{V100, A100} {
+		if g.MaxUtilization <= 0 || g.MaxUtilization > 1 {
+			t.Errorf("%s: MaxUtilization %v out of (0,1]", g.Name, g.MaxUtilization)
+		}
+		if g.KernelLaunchUs <= 0 || g.SaturationGFLOP <= 0 {
+			t.Errorf("%s: non-positive overhead parameters", g.Name)
+		}
+	}
+}
+
+func TestClusterString(t *testing.T) {
+	s := A100Cluster(4).String()
+	for _, want := range []string{"A100", "4 nodes", "8"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+func TestMemBytes(t *testing.T) {
+	c := V100Cluster(1)
+	if got, want := c.MemBytes(), 32.0*(1<<30); got != want {
+		t.Errorf("MemBytes = %v, want %v", got, want)
+	}
+}
+
+func closeTo(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9
+}

@@ -1,0 +1,33 @@
+package ir
+
+import "fmt"
+
+// ReorderedCopy returns a new graph with the same tensor table and the same
+// instructions re-emitted in the given schedule order, so that the copy's
+// program order is the schedule. Instruction IDs are reassigned; the
+// original graph is untouched.
+func ReorderedCopy(g *Graph, order []int) (*Graph, error) {
+	if err := g.ValidateSchedule(order); err != nil {
+		return nil, fmt.Errorf("ir: reorder: %w", err)
+	}
+	ng := NewGraph()
+	ng.Tensors = make([]*Tensor, len(g.Tensors))
+	for i, t := range g.Tensors {
+		c := *t
+		c.Shape = t.Shape.Clone()
+		ng.Tensors[i] = &c
+	}
+	for _, id := range order {
+		ng.Emit(CopyInstr(g.Instr(id)))
+	}
+	return ng, nil
+}
+
+// CopyInstr deep-copies an instruction (the copy's ID is reassigned on
+// Emit).
+func CopyInstr(in *Instr) *Instr {
+	c := *in
+	c.Ins = append([]int(nil), in.Ins...)
+	c.Outs = append([]int(nil), in.Outs...)
+	return &c
+}

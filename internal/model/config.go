@@ -1,0 +1,243 @@
+// Package model builds the full training graph (forward, backward, gradient
+// synchronization, optimizer) of the GPT-2 MoE models the paper evaluates:
+// GPT2-S-MoE (12 layers, hidden 768) and GPT2-L-MoE (24 layers, hidden
+// 1024), with every other transformer block's feed-forward replaced by an
+// MoE layer and experts scaled at 2 per GPU (paper Sec. 7).
+package model
+
+import (
+	"fmt"
+
+	"lancet/internal/ir"
+)
+
+// GateKind selects the routing algorithm of the MoE layers. Gating methods
+// determine how far operator partitioning may extend (paper Sec. 2.3,
+// Challenge 2): gates whose expert assignment can be decided from partial
+// batches allow partitioning both before and after the MoE layer, while
+// batch-dependent gates (Batch Prioritized Routing) only allow extension
+// after it.
+type GateKind int
+
+const (
+	// GateSwitch is top-1 routing (Switch Transformer).
+	GateSwitch GateKind = iota
+	// GateTop2 is GShard-style top-2 routing.
+	GateTop2
+	// GateBatchPriority sorts the whole batch by importance score before
+	// assigning capacity (Riquelme et al.); batch splitting changes which
+	// tokens drop, so it is not partial-batch safe.
+	GateBatchPriority
+	// GateRandom routes tokens to uniformly random experts (THOR-style).
+	GateRandom
+	// GateHash routes by a content hash of the token (Hash Layers).
+	GateHash
+	// GateExpertChoice lets each expert pick its top-C tokens (Zhou et
+	// al.); selection ranks the whole batch, so it is not partial-batch
+	// safe.
+	GateExpertChoice
+)
+
+func (k GateKind) String() string {
+	switch k {
+	case GateSwitch:
+		return "switch"
+	case GateTop2:
+		return "top2"
+	case GateBatchPriority:
+		return "batch_prioritized"
+	case GateRandom:
+		return "random"
+	case GateHash:
+		return "hash"
+	case GateExpertChoice:
+		return "expert_choice"
+	}
+	return fmt.Sprintf("gate(%d)", int(k))
+}
+
+// SupportsPartialBatch reports whether the gate's routing decision for a
+// token depends only on that token (so micro-batching with capacity
+// passing preserves the token-to-expert mapping).
+func (k GateKind) SupportsPartialBatch() bool {
+	switch k {
+	case GateSwitch, GateTop2, GateRandom, GateHash:
+		return true
+	case GateBatchPriority, GateExpertChoice:
+		return false
+	}
+	return false
+}
+
+// TopK is the number of experts each token is routed to.
+func (k GateKind) TopK() int {
+	if k == GateTop2 {
+		return 2
+	}
+	return 1
+}
+
+// Objective selects the model head: next-token language modeling (GPT-2)
+// or classification (ViT-style, where Batch Prioritized Routing
+// originates).
+type Objective int
+
+const (
+	// ObjectiveLM ties the embedding to a vocabulary-sized LM head.
+	ObjectiveLM Objective = iota
+	// ObjectiveClassifier pools tokens and projects to NumClasses.
+	ObjectiveClassifier
+)
+
+// Config specifies one benchmark model instance on one cluster size.
+type Config struct {
+	Name   string
+	Layers int
+	Hidden int
+	Heads  int
+	// FFNMult scales the FFN inner dim: FFNMult * Hidden.
+	FFNMult int
+	// VocabSize is the token vocabulary for LM models and the patch
+	// input dimension for classifiers.
+	VocabSize int
+	// Objective selects the head; NumClasses sizes the classifier.
+	Objective  Objective
+	NumClasses int
+
+	SeqLen      int
+	BatchPerGPU int
+
+	// MoEEvery replaces the FFN of every MoEEvery-th block with an MoE
+	// layer (2 = every other block, as in the paper).
+	MoEEvery      int
+	ExpertsPerGPU int
+	// CapacityFactor scales expert capacity C relative to the uniform
+	// token share.
+	CapacityFactor float64
+
+	Gate  GateKind
+	DType ir.DType
+
+	// SyncGradients adds per-layer gradient all-reduce for the replicated
+	// (non-expert) parameters, as data parallelism requires.
+	SyncGradients bool
+
+	// SharedExpert adds a PR-MoE / DeepSeekMoE-style shared expert to every
+	// MoE layer: a replicated FFN all tokens pass through, whose
+	// computation is independent of the all-to-all and therefore overlaps
+	// it naturally (paper Sec. 8, "MoE architectures that facilitate
+	// overlapping").
+	SharedExpert bool
+
+	// ZeRO3 shards the replicated parameters FSDP-style: each layer's
+	// weights are all-gathered before its forward computation and
+	// gradients are reduce-scattered instead of all-reduced. The extra
+	// forward collectives contend with the MoE all-to-alls on the
+	// communication stream (paper Sec. 8). Expert weights stay
+	// expert-parallel and are not sharded.
+	ZeRO3 bool
+}
+
+// GPT2SMoE is the smaller benchmark model (12 layers, hidden 768).
+func GPT2SMoE() Config {
+	return Config{
+		Name: "GPT2-S-MoE", Layers: 12, Hidden: 768, Heads: 12,
+		FFNMult: 4, VocabSize: 50257, SeqLen: 512,
+		MoEEvery: 2, ExpertsPerGPU: 2, CapacityFactor: 1.25,
+		Gate: GateSwitch, DType: ir.F16, SyncGradients: true,
+	}
+}
+
+// ViTSMoE is a ViT-S/16-style vision MoE classifier (12 layers, hidden
+// 384, 197 patch tokens, Batch Prioritized Routing as in V-MoE): the
+// workload family the BPR gate of Fig. 12 originates from.
+func ViTSMoE() Config {
+	return Config{
+		Name: "ViT-S-MoE", Layers: 12, Hidden: 384, Heads: 6,
+		FFNMult: 4, VocabSize: 768, // patch dim 16x16x3
+		Objective: ObjectiveClassifier, NumClasses: 1000,
+		SeqLen: 197, BatchPerGPU: 128,
+		MoEEvery: 2, ExpertsPerGPU: 2, CapacityFactor: 1.25,
+		Gate: GateBatchPriority, DType: ir.F16, SyncGradients: true,
+	}
+}
+
+// GPT2LMoE is the larger benchmark model (24 layers, hidden 1024).
+func GPT2LMoE() Config {
+	return Config{
+		Name: "GPT2-L-MoE", Layers: 24, Hidden: 1024, Heads: 16,
+		FFNMult: 4, VocabSize: 50257, SeqLen: 512,
+		MoEEvery: 2, ExpertsPerGPU: 2, CapacityFactor: 1.25,
+		Gate: GateSwitch, DType: ir.F16, SyncGradients: true,
+	}
+}
+
+// PaperBatchSize returns the per-GPU batch size used in the paper's
+// experiments for this model on the given GPU type ("V100" or "A100").
+func (c Config) PaperBatchSize(gpuType string) int {
+	small := c.Layers <= 12
+	switch gpuType {
+	case "A100", "a100":
+		if small {
+			return 24
+		}
+		return 48
+	default: // V100
+		if small {
+			return 16
+		}
+		return 8
+	}
+}
+
+// Validate checks configuration invariants.
+func (c Config) Validate() error {
+	switch {
+	case c.Layers <= 0:
+		return fmt.Errorf("model: Layers must be positive, got %d", c.Layers)
+	case c.Hidden <= 0 || c.Heads <= 0 || c.Hidden%c.Heads != 0:
+		return fmt.Errorf("model: Hidden %d must be a positive multiple of Heads %d", c.Hidden, c.Heads)
+	case c.SeqLen <= 0 || c.BatchPerGPU <= 0:
+		return fmt.Errorf("model: SeqLen/BatchPerGPU must be positive")
+	case c.MoEEvery <= 0:
+		return fmt.Errorf("model: MoEEvery must be positive, got %d", c.MoEEvery)
+	case c.ExpertsPerGPU <= 0:
+		return fmt.Errorf("model: ExpertsPerGPU must be positive")
+	case c.CapacityFactor <= 0:
+		return fmt.Errorf("model: CapacityFactor must be positive")
+	case c.FFNMult <= 0:
+		return fmt.Errorf("model: FFNMult must be positive")
+	case c.Objective == ObjectiveClassifier && c.NumClasses <= 0:
+		return fmt.Errorf("model: classifier needs NumClasses, got %d", c.NumClasses)
+	}
+	return nil
+}
+
+// IsMoELayer reports whether block l (0-based) hosts an MoE layer. The
+// paper replaces every other block's FFN starting from the second block.
+func (c Config) IsMoELayer(l int) bool { return l%c.MoEEvery == c.MoEEvery-1 }
+
+// NumMoELayers counts the MoE blocks.
+func (c Config) NumMoELayers() int {
+	n := 0
+	for l := 0; l < c.Layers; l++ {
+		if c.IsMoELayer(l) {
+			n++
+		}
+	}
+	return n
+}
+
+// TokensPerGPU is the number of tokens each device contributes per step.
+func (c Config) TokensPerGPU() int { return c.SeqLen * c.BatchPerGPU }
+
+// Capacity returns the per-device per-expert capacity C for a cluster with
+// the given total expert count.
+func (c Config) Capacity(totalExperts int) int {
+	t := float64(c.TokensPerGPU()*c.Gate.TopK()) / float64(totalExperts)
+	cap := int(t * c.CapacityFactor)
+	if cap < 1 {
+		cap = 1
+	}
+	return cap
+}

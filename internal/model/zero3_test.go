@@ -1,0 +1,119 @@
+package model
+
+import (
+	"strings"
+	"testing"
+
+	"lancet/internal/hw"
+	"lancet/internal/ir"
+)
+
+func buildZeRO3(t *testing.T) (*Built, *Built) {
+	t.Helper()
+	cl := hw.V100Cluster(2)
+	plain := GPT2SMoE()
+	plain.BatchPerGPU = 16
+	sharded := plain
+	sharded.ZeRO3 = true
+	pb, err := Build(plain, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := Build(sharded, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pb, sb
+}
+
+func TestZeRO3GraphValid(t *testing.T) {
+	_, sb := buildZeRO3(t)
+	if err := sb.Graph.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeRO3CollectiveStructure(t *testing.T) {
+	pb, sb := buildZeRO3(t)
+	count := func(g *ir.Graph, op ir.OpKind) int {
+		n := 0
+		for _, in := range g.Instrs {
+			if in.Op == op {
+				n++
+			}
+		}
+		return n
+	}
+	// One all-gather per layer plus the embedding/lnf bucket.
+	if got, want := count(sb.Graph, ir.OpAllGather), sb.Config.Layers+1; got != want {
+		t.Errorf("all-gather count = %d, want %d", got, want)
+	}
+	if count(pb.Graph, ir.OpAllGather) != 0 {
+		t.Error("plain build must not all-gather")
+	}
+	// Reduce-scatter replaces every all-reduce.
+	if count(sb.Graph, ir.OpAllReduce) != 0 {
+		t.Error("ZeRO3 must not all-reduce")
+	}
+	if got, want := count(sb.Graph, ir.OpReduceScatter), count(pb.Graph, ir.OpAllReduce); got != want {
+		t.Errorf("reduce-scatter count = %d, want %d (matching plain all-reduces)", got, want)
+	}
+	// All-to-alls are untouched.
+	if len(sb.Graph.AllToAlls()) != len(pb.Graph.AllToAlls()) {
+		t.Error("ZeRO3 must not change all-to-all structure")
+	}
+}
+
+func TestZeRO3WeightsProducedByAllGather(t *testing.T) {
+	_, sb := buildZeRO3(t)
+	g := sb.Graph
+	for _, tt := range g.Tensors {
+		if tt.Kind != ir.Weight {
+			continue
+		}
+		p := g.Producer(tt.ID)
+		isExpert := containsAny(tt.Name, "w_exp1", "w_exp2")
+		if isExpert {
+			if p != -1 {
+				t.Errorf("expert weight %s must stay local (graph input), produced by @%d", tt.Name, p)
+			}
+			continue
+		}
+		if p == -1 {
+			t.Errorf("replicated weight %s not produced by an all-gather", tt.Name)
+			continue
+		}
+		if g.Instr(p).Op != ir.OpAllGather {
+			t.Errorf("weight %s produced by %v, want all_gather", tt.Name, g.Instr(p).Op)
+		}
+	}
+}
+
+func TestZeRO3ShardsOptimizerState(t *testing.T) {
+	pb, sb := buildZeRO3(t)
+	if sb.MemoryBytes(MemoryCompiled) >= pb.MemoryBytes(MemoryCompiled) {
+		t.Error("sharded states must shrink the footprint")
+	}
+	// SGD traffic shrinks to shards (expert updates excluded).
+	sumSGD := func(b *Built) int64 {
+		var total int64
+		for _, in := range b.Graph.Instrs {
+			if in.Op == ir.OpSGDUpdate && !containsAny(in.Name, "experts") {
+				total += in.Bytes
+			}
+		}
+		return total
+	}
+	if sumSGD(sb) >= sumSGD(pb) {
+		t.Error("ZeRO3 SGD updates should touch only weight shards")
+	}
+}
+
+func containsAny(s string, subs ...string) bool {
+	for _, sub := range subs {
+		if strings.Contains(s, sub) {
+			return true
+		}
+	}
+	return false
+}

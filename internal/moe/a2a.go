@@ -1,0 +1,43 @@
+package moe
+
+// Item is one routed token in flight through an all-to-all.
+type Item struct {
+	SrcDev   int
+	TokenIdx int
+	Expert   int
+	Weight   float32
+	Vec      []float32
+}
+
+// IrregularAllToAll performs the two-phase irregular exchange of paper
+// Fig. 10: devices first exchange the number of items each will send to
+// each peer (the size all-to-all), then the payload moves. send[src][dst]
+// holds the items src transmits to dst; recv[dst] receives them ordered by
+// source device, then send order. The returned counts matrix is the
+// phase-one exchange (counts[src][dst] = items moved), which conservation
+// tests and byte accounting consume.
+func IrregularAllToAll(send [][][]Item) (recv [][]Item, counts [][]int) {
+	g := len(send)
+	counts = make([][]int, g)
+	// Phase 1: size exchange. Every device learns how much it will
+	// receive from each peer before posting receives.
+	for src := 0; src < g; src++ {
+		counts[src] = make([]int, g)
+		for dst := 0; dst < g; dst++ {
+			counts[src][dst] = len(send[src][dst])
+		}
+	}
+	// Phase 2: payload exchange, grouped send/recv per peer pair.
+	recv = make([][]Item, g)
+	for dst := 0; dst < g; dst++ {
+		total := 0
+		for src := 0; src < g; src++ {
+			total += counts[src][dst]
+		}
+		recv[dst] = make([]Item, 0, total)
+		for src := 0; src < g; src++ {
+			recv[dst] = append(recv[dst], send[src][dst]...)
+		}
+	}
+	return recv, counts
+}

@@ -1,0 +1,205 @@
+package moe
+
+import (
+	"math"
+	"sort"
+
+	"lancet/internal/tensor"
+)
+
+// Gradients holds the expert-parallel weight gradients of one MoE layer.
+type Gradients struct {
+	DW1 []*tensor.Tensor // per global expert: [H, F]
+	DW2 []*tensor.Tensor // per global expert: [F, H]
+}
+
+// NewGradients allocates zeroed gradients matching the layer.
+func NewGradients(l *Layer) *Gradients {
+	g := &Gradients{}
+	for e := 0; e < l.Cfg.TotalExperts(); e++ {
+		g.DW1 = append(g.DW1, tensor.New(l.Cfg.Hidden, l.Cfg.FFN))
+		g.DW2 = append(g.DW2, tensor.New(l.Cfg.FFN, l.Cfg.Hidden))
+	}
+	return g
+}
+
+// contribution is one token's share of an expert's weight gradient,
+// identified by a canonical key so accumulation order — and therefore
+// float32 rounding — is independent of how the batch was micro-partitioned.
+type contribution struct {
+	expert   int
+	srcDev   int
+	tokenIdx int
+	x        []float32 // expert input
+	dPre     []float32 // gradient at the first projection's pre-activation
+	h        []float32 // gelu output
+	dY       []float32 // gradient at the expert output (weighted)
+}
+
+// ForwardBackward runs the layer forward and then backward for the given
+// upstream output gradients, returning outputs, input gradients and weight
+// gradients. The backward pass replays the forward routing (same gate, same
+// capacity state evolution), computes per-token expert gradients, moves
+// them through the reverse irregular all-to-alls, and accumulates weight
+// gradients in a canonical (expert, source device, token) order so the
+// result is bit-identical regardless of micro-batching.
+func (l *Layer) ForwardBackward(xs, dOut []*tensor.Tensor, gate Gate, k int) (ys, dXs []*tensor.Tensor, grads *Gradients) {
+	cfg := l.Cfg
+	if k < 1 {
+		k = 1
+	}
+	ys = make([]*tensor.Tensor, cfg.Devices)
+	dXs = make([]*tensor.Tensor, cfg.Devices)
+	for d := range ys {
+		ys[d] = tensor.New(xs[d].Shape...)
+		dXs[d] = tensor.New(xs[d].Shape...)
+	}
+	grads = NewGradients(l)
+	states := make([]*CapacityState, cfg.Devices)
+	for d := range states {
+		states[d] = NewCapacityState(cfg.TotalExperts(), cfg.Capacity)
+	}
+
+	var contribs []contribution
+	t := xs[0].Rows()
+	for m := 0; m < k; m++ {
+		lo, hi := chunk(t, k, m)
+		if lo == hi {
+			continue
+		}
+		send := make([][][]Item, cfg.Devices)
+		for d := 0; d < cfg.Devices; d++ {
+			send[d] = make([][]Item, cfg.Devices)
+			block := &tensor.Tensor{Shape: []int{hi - lo, cfg.Hidden}, Data: xs[d].Data[lo*cfg.Hidden : hi*cfg.Hidden]}
+			scores := tensor.MatMul(block, l.GateW)
+			routes := gate.Route(scores, lo, states[d])
+			for i, r := range routes {
+				for _, s := range r.Slots {
+					if !s.Kept {
+						continue
+					}
+					dst := l.OwnerDevice(s.Expert)
+					send[d][dst] = append(send[d][dst], Item{
+						SrcDev: d, TokenIdx: lo + i,
+						Expert: s.Expert, Weight: s.Weight,
+						Vec: block.Row(i),
+					})
+				}
+			}
+		}
+		recv, _ := IrregularAllToAll(send)
+
+		// Forward expert computation, saving what backward needs, then
+		// combine and immediately back-propagate through each token.
+		back := make([][][]Item, cfg.Devices)
+		for d := range back {
+			back[d] = make([][]Item, cfg.Devices)
+		}
+		for d := 0; d < cfg.Devices; d++ {
+			for _, it := range recv[d] {
+				pre := tensor.MatVec(it.Vec, l.W1[it.Expert])
+				h := tensor.GeLU(append([]float32(nil), pre...))
+				out := tensor.MatVec(h, l.W2[it.Expert])
+				back[d][it.SrcDev] = append(back[d][it.SrcDev], Item{
+					SrcDev: it.SrcDev, TokenIdx: it.TokenIdx,
+					Expert: it.Expert, Weight: it.Weight, Vec: out,
+				})
+				// dY arrives on the token's home device; fetch it directly
+				// (the simulation is in-process — in a real system this is
+				// the backward combine all-to-all, which moves the same
+				// bytes the timing model already accounts for).
+				dy := make([]float32, cfg.Hidden)
+				home := dOut[it.SrcDev].Row(it.TokenIdx)
+				for j := range dy {
+					dy[j] = home[j] * it.Weight
+				}
+				dh := tensor.MatVec(dy, transpose(l.W2[it.Expert]))
+				dPre := make([]float32, cfg.FFN)
+				for j := range dPre {
+					dPre[j] = dh[j] * geluDeriv(pre[j])
+				}
+				contribs = append(contribs, contribution{
+					expert: it.Expert, srcDev: it.SrcDev, tokenIdx: it.TokenIdx,
+					x: it.Vec, dPre: dPre, h: h, dY: dy,
+				})
+				// Input gradient travels back through the dispatch a2a.
+				dx := tensor.MatVec(dPre, transpose(l.W1[it.Expert]))
+				tensor.Add(dXs[it.SrcDev].Row(it.TokenIdx), dx)
+			}
+		}
+		returned, _ := IrregularAllToAll(back)
+		for d := 0; d < cfg.Devices; d++ {
+			for _, it := range returned[d] {
+				scaled := tensor.Scale(append([]float32(nil), it.Vec...), it.Weight)
+				tensor.Add(ys[d].Row(it.TokenIdx), scaled)
+			}
+		}
+	}
+
+	// Canonical-order weight-gradient accumulation: micro-batching changes
+	// arrival order, so sort by (expert, srcDev, tokenIdx) before summing.
+	sort.Slice(contribs, func(a, b int) bool {
+		ca, cb := contribs[a], contribs[b]
+		if ca.expert != cb.expert {
+			return ca.expert < cb.expert
+		}
+		if ca.srcDev != cb.srcDev {
+			return ca.srcDev < cb.srcDev
+		}
+		return ca.tokenIdx < cb.tokenIdx
+	})
+	for _, c := range contribs {
+		accumOuter(grads.DW1[c.expert], c.x, c.dPre)
+		accumOuter(grads.DW2[c.expert], c.h, c.dY)
+	}
+	return ys, dXs, grads
+}
+
+// SGDStep applies w -= lr * g to the layer's expert weights.
+func (l *Layer) SGDStep(grads *Gradients, lr float32) {
+	for e := range l.W1 {
+		for i := range l.W1[e].Data {
+			l.W1[e].Data[i] -= lr * grads.DW1[e].Data[i]
+		}
+		for i := range l.W2[e].Data {
+			l.W2[e].Data[i] -= lr * grads.DW2[e].Data[i]
+		}
+	}
+}
+
+// accumOuter adds the outer product a b^T into dst[len(a), len(b)].
+func accumOuter(dst *tensor.Tensor, a, b []float32) {
+	n := len(b)
+	for i, av := range a {
+		if av == 0 {
+			continue
+		}
+		row := dst.Data[i*n : (i+1)*n]
+		for j, bv := range b {
+			row[j] += av * bv
+		}
+	}
+}
+
+// transpose returns a transposed copy of a 2-D tensor.
+func transpose(t *tensor.Tensor) *tensor.Tensor {
+	r, c := t.Shape[0], t.Shape[1]
+	out := tensor.New(c, r)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			out.Data[j*r+i] = t.Data[i*c+j]
+		}
+	}
+	return out
+}
+
+// geluDeriv is the derivative of the tanh-approximated GeLU.
+func geluDeriv(x float32) float32 {
+	f := float64(x)
+	const a = 0.7978845608028654
+	const b = 0.044715
+	inner := a * (f + b*f*f*f)
+	th := math.Tanh(inner)
+	sech2 := 1 - th*th
+	return float32(0.5*(1+th) + 0.5*f*sech2*a*(1+3*b*f*f))
+}

@@ -1,0 +1,134 @@
+package moe
+
+import (
+	"math"
+	"sort"
+
+	"lancet/internal/tensor"
+)
+
+// ExpertChoiceGate implements expert-choice routing (Zhou et al., cited in
+// paper Sec. 2.1): each expert selects its top-C tokens by gate score, so
+// capacity is always exactly filled and no token is "dropped" by a capacity
+// race — but a token may be selected by several experts or by none.
+//
+// Like Batch Prioritized Routing, the decision ranks tokens against the
+// whole batch, so it is not partial-batch safe: Lancet may only extend
+// partitioning after the MoE layer.
+type ExpertChoiceGate struct{}
+
+// Name implements Gate.
+func (ExpertChoiceGate) Name() string { return "expert_choice" }
+
+// PartialBatchSafe implements Gate.
+func (ExpertChoiceGate) PartialBatchSafe() bool { return false }
+
+// TopK implements Gate. Expert choice has no per-token k; selection volume
+// is governed by capacity. One slot per (expert, selected token) is
+// emitted.
+func (ExpertChoiceGate) TopK() int { return 1 }
+
+// Route implements Gate. For each expert, the top min(C, T) tokens by score
+// are selected; the capacity state is consumed accordingly so dispatch
+// accounting matches the other gates.
+func (ExpertChoiceGate) Route(scores *tensor.Tensor, _ int, st *CapacityState) []TokenRoute {
+	n, e := scores.Rows(), scores.Cols()
+	routes := make([]TokenRoute, n)
+	type cand struct {
+		token int
+		score float32
+	}
+	for ex := 0; ex < e; ex++ {
+		cands := make([]cand, n)
+		for i := 0; i < n; i++ {
+			cands[i] = cand{token: i, score: scores.Row(i)[ex]}
+		}
+		sort.SliceStable(cands, func(a, b int) bool { return cands[a].score > cands[b].score })
+		for _, c := range cands {
+			if st.Remaining(ex) == 0 {
+				break
+			}
+			st.take(ex)
+			routes[c.token].Slots = append(routes[c.token].Slots, Slot{
+				Expert: ex, Weight: c.score, Kept: true,
+			})
+		}
+	}
+	return routes
+}
+
+// SkewedInputs builds token batches whose gate scores are biased toward a
+// few "hot" experts with Zipf-like popularity. skew = 0 reproduces balanced
+// random routing; larger values concentrate tokens on low-index experts,
+// stressing capacity overflow, token dropping and irregular all-to-all
+// imbalance — the dynamic workloads FasterMoE and Tutel's adaptive
+// parallelism target.
+func SkewedInputs(l *Layer, tokens int, skew float64, seed int64) []*tensor.Tensor {
+	cfg := l.Cfg
+	rng := newSplitmixRand(uint64(seed))
+	xs := make([]*tensor.Tensor, cfg.Devices)
+	e := cfg.TotalExperts()
+	for d := range xs {
+		x := tensor.New(tokens, cfg.Hidden)
+		for i := 0; i < tokens; i++ {
+			row := x.Row(i)
+			for j := range row {
+				row[j] = float32(rng.norm())
+			}
+			if skew <= 0 {
+				continue
+			}
+			// Pick a target expert with Zipf-ish popularity and push the
+			// token toward that expert's gate direction (the corresponding
+			// column of GateW), raising its score.
+			target := zipfPick(rng, e, skew)
+			for j := range row {
+				row[j] += float32(skew) * l.GateW.Data[j*e+target] * 50
+			}
+		}
+		xs[d] = x
+	}
+	return xs
+}
+
+// zipfPick samples an expert index with probability proportional to
+// 1/(rank+1)^skew.
+func zipfPick(r *splitmixRand, n int, skew float64) int {
+	total := 0.0
+	weights := make([]float64, n)
+	for i := 0; i < n; i++ {
+		w := 1.0 / math.Pow(float64(i+1), skew)
+		weights[i] = w
+		total += w
+	}
+	u := r.float() * total
+	for i, w := range weights {
+		u -= w
+		if u <= 0 {
+			return i
+		}
+	}
+	return n - 1
+}
+
+// splitmixRand is a tiny deterministic RNG so skewed workloads are
+// reproducible without threading *rand.Rand through the API.
+type splitmixRand struct{ state uint64 }
+
+func newSplitmixRand(seed uint64) *splitmixRand { return &splitmixRand{state: seed} }
+
+func (r *splitmixRand) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	return splitmix(r.state)
+}
+
+func (r *splitmixRand) float() float64 { return float64(r.next()>>11) / float64(1<<53) }
+
+// norm approximates a unit normal via the sum of uniforms (Irwin-Hall).
+func (r *splitmixRand) norm() float64 {
+	s := 0.0
+	for i := 0; i < 12; i++ {
+		s += r.float()
+	}
+	return s - 6
+}

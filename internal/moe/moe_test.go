@@ -1,0 +1,341 @@
+package moe
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lancet/internal/tensor"
+)
+
+func testLayer(t *testing.T, capacity int) (*Layer, []*tensor.Tensor) {
+	t.Helper()
+	cfg := Config{Devices: 4, ExpertsPerDevice: 2, Capacity: capacity, Hidden: 16, FFN: 32}
+	l, err := NewLayer(cfg, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]*tensor.Tensor, cfg.Devices)
+	for d := range xs {
+		xs[d] = tensor.Randn(rng, 1, 24, cfg.Hidden)
+	}
+	return l, xs
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{},
+		{Devices: 2, ExpertsPerDevice: 2, Capacity: 0, Hidden: 4, FFN: 8},
+		{Devices: -1, ExpertsPerDevice: 2, Capacity: 2, Hidden: 4, FFN: 8},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if _, err := NewLayer(Config{}, 1); err == nil {
+		t.Error("NewLayer must reject invalid config")
+	}
+}
+
+// The paper's central equivalence claim: micro-batched gating with capacity
+// passing is bit-identical to unpartitioned gating for arrival-order gates.
+func TestMicroBatchEquivalence(t *testing.T) {
+	gates := []Gate{SwitchGate{}, Top2Gate{}, RandomGate{Seed: 3}, HashGate{}}
+	for _, gate := range gates {
+		for _, capacity := range []int{3, 6, 100} { // tight, medium, ample
+			l, xs := testLayer(t, capacity)
+			whole, wStats := l.Forward(xs, gate)
+			for _, k := range []int{2, 3, 4, 5} {
+				part, pStats := l.ForwardMicroBatched(xs, gate, k)
+				if wStats.Dropped != pStats.Dropped {
+					t.Errorf("%s cap=%d k=%d: dropped %d vs %d",
+						gate.Name(), capacity, k, wStats.Dropped, pStats.Dropped)
+				}
+				for d := range whole {
+					if !whole[d].Equal(part[d]) {
+						t.Errorf("%s cap=%d k=%d: device %d output differs",
+							gate.Name(), capacity, k, d)
+						break
+					}
+				}
+			}
+		}
+	}
+}
+
+// Direct micro-batching (fresh capacity C/k per micro-batch, paper
+// Fig. 5b) is what capacity passing avoids; verify the naive approach
+// actually drops extra tokens so the mechanism is load-bearing.
+func TestDirectMicroBatchingDropsMore(t *testing.T) {
+	l, xs := testLayer(t, 4)
+	_, whole := l.RouteOnly(xs, SwitchGate{}, 1)
+
+	// Emulate direct partitioning: two halves each with capacity C/2 and
+	// fresh states.
+	cfg := l.Cfg
+	half := cfg
+	half.Capacity = cfg.Capacity / 2
+	lHalf := &Layer{Cfg: half, GateW: l.GateW, W1: l.W1, W2: l.W2}
+	dropped := 0
+	for _, m := range []int{0, 1} {
+		part := make([]*tensor.Tensor, cfg.Devices)
+		for d := range part {
+			rows := xs[d].Rows() / 2
+			part[d] = &tensor.Tensor{Shape: []int{rows, cfg.Hidden},
+				Data: xs[d].Data[m*rows*cfg.Hidden : (m+1)*rows*cfg.Hidden]}
+		}
+		_, s := lHalf.RouteOnly(part, SwitchGate{}, 1)
+		dropped += s.Dropped
+	}
+	if dropped <= whole.Dropped {
+		t.Errorf("direct micro-batching dropped %d, want more than unpartitioned %d",
+			dropped, whole.Dropped)
+	}
+}
+
+// Batch Prioritized Routing is NOT preserved under batch splitting — the
+// reason Lancet restricts its partition range (Fig. 4c).
+func TestBPRNotPartialBatchSafe(t *testing.T) {
+	gate := BatchPrioritizedGate{}
+	if gate.PartialBatchSafe() {
+		t.Fatal("BPR must not claim partial-batch safety")
+	}
+	l, xs := testLayer(t, 3) // tight capacity so prioritization matters
+	_, whole := l.RouteOnly(xs, gate, 1)
+	_, part := l.RouteOnly(xs, gate, 4)
+	// The token-to-drop mapping must differ: with split batches the sort
+	// pool changes. Compare kept-sets.
+	same := whole.Routed == part.Routed && whole.Dropped == part.Dropped
+	if same {
+		routesW, _ := l.RouteOnly(xs, gate, 1)
+		routesP, _ := l.RouteOnly(xs, gate, 4)
+		identical := true
+		for d := range routesW {
+			for i := range routesW[d] {
+				if routesW[d][i].Slots[0].Kept != routesP[d][i].Slots[0].Kept {
+					identical = false
+				}
+			}
+		}
+		if identical {
+			t.Error("BPR routing survived batch splitting unchanged — test workload too easy or gate broken")
+		}
+	}
+}
+
+func TestCapacityEnforced(t *testing.T) {
+	l, xs := testLayer(t, 4)
+	for _, gate := range []Gate{SwitchGate{}, Top2Gate{}, BatchPrioritizedGate{}} {
+		routes, _ := l.RouteOnly(xs, gate, 1)
+		for d := range routes {
+			perExpert := make(map[int]int)
+			for _, r := range routes[d] {
+				for _, s := range r.Slots {
+					if s.Kept {
+						perExpert[s.Expert]++
+					}
+				}
+			}
+			for e, n := range perExpert {
+				if n > l.Cfg.Capacity {
+					t.Errorf("%s: device %d sent %d tokens to expert %d (cap %d)",
+						gate.Name(), d, n, e, l.Cfg.Capacity)
+				}
+			}
+		}
+	}
+}
+
+func TestSlotAccounting(t *testing.T) {
+	l, xs := testLayer(t, 4)
+	for _, gate := range []Gate{SwitchGate{}, Top2Gate{}} {
+		_, s := l.RouteOnly(xs, gate, 1)
+		wantSlots := l.Cfg.Devices * xs[0].Rows() * gate.TopK()
+		if s.Routed+s.Dropped != wantSlots {
+			t.Errorf("%s: routed %d + dropped %d != slots %d",
+				gate.Name(), s.Routed, s.Dropped, wantSlots)
+		}
+	}
+}
+
+func TestIrregularAllToAllConservation(t *testing.T) {
+	mk := func(src, dst, n int) []Item {
+		items := make([]Item, n)
+		for i := range items {
+			items[i] = Item{SrcDev: src, TokenIdx: i, Expert: dst}
+		}
+		return items
+	}
+	send := [][][]Item{
+		{mk(0, 0, 2), mk(0, 1, 0), mk(0, 2, 3)},
+		{mk(1, 0, 1), mk(1, 1, 1), mk(1, 2, 1)},
+		{mk(2, 0, 0), mk(2, 1, 4), mk(2, 2, 0)},
+	}
+	recv, counts := IrregularAllToAll(send)
+	totalSent, totalRecv := 0, 0
+	for s := range send {
+		for d := range send[s] {
+			totalSent += len(send[s][d])
+			if counts[s][d] != len(send[s][d]) {
+				t.Errorf("counts[%d][%d] = %d, want %d", s, d, counts[s][d], len(send[s][d]))
+			}
+		}
+	}
+	for d := range recv {
+		totalRecv += len(recv[d])
+	}
+	if totalSent != totalRecv {
+		t.Errorf("tokens not conserved: %d sent, %d received", totalSent, totalRecv)
+	}
+	// Receive order: grouped by source device, ascending.
+	for d := range recv {
+		lastSrc := -1
+		for _, it := range recv[d] {
+			if it.SrcDev < lastSrc {
+				t.Errorf("device %d: receive order not grouped by source", d)
+			}
+			lastSrc = it.SrcDev
+		}
+	}
+}
+
+func TestGatherNumerics(t *testing.T) {
+	// With ample capacity and Switch gating, each output row must be
+	// exactly prob * FFN_expert(x).
+	l, xs := testLayer(t, 1000)
+	ys, stats := l.Forward(xs, SwitchGate{})
+	if stats.Dropped != 0 {
+		t.Fatalf("ample capacity still dropped %d", stats.Dropped)
+	}
+	routes, _ := l.RouteOnly(xs, SwitchGate{}, 1)
+	for _, d := range []int{0, 3} {
+		for _, i := range []int{0, 5, 23} {
+			slot := routes[d][i].Slots[0]
+			h := tensor.GeLU(tensor.MatVec(xs[d].Row(i), l.W1[slot.Expert]))
+			want := tensor.Scale(tensor.MatVec(h, l.W2[slot.Expert]), slot.Weight)
+			got := ys[d].Row(i)
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("device %d token %d: output mismatch at %d", d, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestDroppedTokensProduceZeroRows(t *testing.T) {
+	l, xs := testLayer(t, 2) // very tight: many drops
+	ys, stats := l.Forward(xs, SwitchGate{})
+	if stats.Dropped == 0 {
+		t.Fatal("expected drops under tight capacity")
+	}
+	routes, _ := l.RouteOnly(xs, SwitchGate{}, 1)
+	for d := range routes {
+		for i, r := range routes[d] {
+			if r.Slots[0].Kept {
+				continue
+			}
+			for _, v := range ys[d].Row(i) {
+				if v != 0 {
+					t.Fatalf("dropped token (dev %d, tok %d) has nonzero output", d, i)
+				}
+			}
+		}
+	}
+}
+
+func TestActualBytesNeverExceedPadded(t *testing.T) {
+	l, xs := testLayer(t, 4)
+	_, stats := l.RouteOnly(xs, SwitchGate{}, 2)
+	perToken := int64(l.Cfg.Hidden * 2)
+	padded := int64(stats.PaddedTokensPerDevice) * perToken
+	for d, b := range stats.ActualA2ABytes(perToken) {
+		if b > padded {
+			t.Errorf("device %d: actual bytes %d exceed padded %d", d, b, padded)
+		}
+		if b <= 0 {
+			t.Errorf("device %d: no bytes moved", d)
+		}
+	}
+}
+
+func TestMicroSendTokensSumToTotal(t *testing.T) {
+	l, xs := testLayer(t, 6)
+	_, stats := l.RouteOnly(xs, SwitchGate{}, 3)
+	if len(stats.MicroSendTokens) != 3 {
+		t.Fatalf("got %d micro entries, want 3", len(stats.MicroSendTokens))
+	}
+	for src := range stats.SendTokens {
+		total := 0
+		for _, row := range stats.MicroSendTokens {
+			total += row[src]
+		}
+		sent := 0
+		for _, c := range stats.SendTokens[src] {
+			sent += c
+		}
+		if total != sent {
+			t.Errorf("device %d: micro totals %d != send total %d", src, total, sent)
+		}
+	}
+}
+
+func TestTop2WeightsNormalized(t *testing.T) {
+	l, xs := testLayer(t, 100)
+	routes, _ := l.RouteOnly(xs, Top2Gate{}, 1)
+	for d := range routes {
+		for i, r := range routes[d] {
+			if len(r.Slots) != 2 {
+				t.Fatalf("top2 route has %d slots", len(r.Slots))
+			}
+			sum := r.Slots[0].Weight + r.Slots[1].Weight
+			if sum < 0.999 || sum > 1.001 {
+				t.Errorf("device %d token %d: weights sum to %v", d, i, sum)
+			}
+		}
+	}
+}
+
+func TestChunkProperty(t *testing.T) {
+	f := func(tRaw, kRaw uint8) bool {
+		tt := 1 + int(tRaw)%100
+		k := 1 + int(kRaw)%10
+		covered := 0
+		prevHi := 0
+		for m := 0; m < k; m++ {
+			lo, hi := chunk(tt, k, m)
+			if lo != prevHi || hi < lo {
+				return false
+			}
+			covered += hi - lo
+			prevHi = hi
+		}
+		return covered == tt && prevHi == tt
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPositionalGatesStableUnderOffset(t *testing.T) {
+	// Random/Hash gates must give each token the same expert regardless of
+	// how the batch is split — that is what makes them partial-batch safe.
+	cfg := Config{Devices: 1, ExpertsPerDevice: 8, Capacity: 100, Hidden: 4, FFN: 8}
+	l, err := NewLayer(cfg, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	x := tensor.Randn(rng, 1, 10, 4)
+	for _, gate := range []Gate{RandomGate{Seed: 5}, HashGate{}} {
+		whole, _ := l.RouteOnly([]*tensor.Tensor{x}, gate, 1)
+		split, _ := l.RouteOnly([]*tensor.Tensor{x}, gate, 5)
+		for i := range whole[0] {
+			if whole[0][i].Slots[0].Expert != split[0][i].Slots[0].Expert {
+				t.Errorf("%s: token %d changed expert under splitting", gate.Name(), i)
+			}
+		}
+	}
+}

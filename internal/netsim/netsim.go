@@ -1,0 +1,117 @@
+// Package netsim is a link-level network simulator for collective
+// operations on a cluster: every device has finite NVLink bandwidth toward
+// node peers and a finite share of its node's NICs toward other nodes, and
+// a transfer matrix completes when the most-loaded link drains
+// (LogGP-style bandwidth bound plus startup latency).
+//
+// The closed-form cost model (package cost) prices *uniform* collectives;
+// netsim generalizes to arbitrary per-pair payloads, which is what skewed
+// MoE routing produces: the device hosting a hot expert becomes an ingress
+// bottleneck that a uniform model cannot see (the imbalance FasterMoE's
+// expert shadowing targets, paper Sec. 8).
+package netsim
+
+import (
+	"fmt"
+	"math"
+
+	"lancet/internal/hw"
+)
+
+// Network simulates collectives on a cluster.
+type Network struct {
+	Cluster hw.Cluster
+}
+
+// New builds a network simulator for the cluster.
+func New(c hw.Cluster) *Network { return &Network{Cluster: c} }
+
+// AllToAllUs returns the completion time of an all-to-all with
+// sizes[src][dst] payload bytes. Each device's intra-node egress/ingress
+// drains over NVLink and its inter-node egress/ingress over the per-GPU NIC
+// share; the slowest drain bounds completion.
+func (n *Network) AllToAllUs(sizes [][]int64) (float64, error) {
+	g := n.Cluster.TotalGPUs()
+	if len(sizes) != g {
+		return 0, fmt.Errorf("netsim: matrix is %dx? for %d devices", len(sizes), g)
+	}
+	var intraEg, intraIn, interEg, interIn []float64
+	intraEg = make([]float64, g)
+	intraIn = make([]float64, g)
+	interEg = make([]float64, g)
+	interIn = make([]float64, g)
+	total := int64(0)
+	for src := range sizes {
+		if len(sizes[src]) != g {
+			return 0, fmt.Errorf("netsim: row %d has %d entries for %d devices", src, len(sizes[src]), g)
+		}
+		for dst, b := range sizes[src] {
+			if b < 0 {
+				return 0, fmt.Errorf("netsim: negative payload at [%d][%d]", src, dst)
+			}
+			if src == dst || b == 0 {
+				continue
+			}
+			total += b
+			if n.Cluster.SameNode(src, dst) {
+				intraEg[src] += float64(b)
+				intraIn[dst] += float64(b)
+			} else {
+				interEg[src] += float64(b)
+				interIn[dst] += float64(b)
+			}
+		}
+	}
+	if total == 0 {
+		return 0, nil
+	}
+	nvl := n.Cluster.Node.NVLinkGBs * 1e9
+	nic := n.Cluster.PerGPUNICGBs() * 1e9
+	bound := 0.0
+	for d := 0; d < g; d++ {
+		bound = math.Max(bound, intraEg[d]/effBW(nvl, intraEg[d]))
+		bound = math.Max(bound, intraIn[d]/effBW(nvl, intraIn[d]))
+		bound = math.Max(bound, interEg[d]/effBW(nic, interEg[d]))
+		bound = math.Max(bound, interIn[d]/effBW(nic, interIn[d]))
+	}
+	alpha := 15.0 + 0.4*float64(g)
+	return alpha + bound*1e6, nil
+}
+
+// UniformMatrix builds the transfer matrix of a balanced all-to-all where
+// every device spreads bytesPerDevice evenly across all devices (the padded
+// dispatch pattern).
+func UniformMatrix(devices int, bytesPerDevice int64) [][]int64 {
+	m := make([][]int64, devices)
+	per := bytesPerDevice / int64(devices)
+	for src := range m {
+		m[src] = make([]int64, devices)
+		for dst := range m[src] {
+			m[src][dst] = per
+		}
+	}
+	return m
+}
+
+// ScaleCounts converts a token-count matrix (from the functional MoE
+// runtime) into a byte matrix at perTokenBytes, scaled by factor.
+func ScaleCounts(counts [][]int, perTokenBytes int64, factor float64) [][]int64 {
+	m := make([][]int64, len(counts))
+	for src := range counts {
+		m[src] = make([]int64, len(counts[src]))
+		for dst, c := range counts[src] {
+			m[src][dst] = int64(float64(c) * factor * float64(perTokenBytes))
+		}
+	}
+	return m
+}
+
+// effBW mirrors the closed-form model's small-message ramp so the two
+// agree on uniform traffic.
+func effBW(peak, bytes float64) float64 {
+	const rampBytes = 256 * 1024
+	if bytes <= 0 {
+		return peak
+	}
+	return peak * bytes / (bytes + rampBytes)
+}

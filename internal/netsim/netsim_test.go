@@ -1,0 +1,160 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lancet/internal/cost"
+	"lancet/internal/hw"
+	"lancet/internal/ir"
+)
+
+func TestUniformAgreesWithClosedForm(t *testing.T) {
+	cl := hw.V100Cluster(2)
+	n := New(cl)
+	cm := cost.NewModel(cl)
+	for _, bytes := range []int64{1 << 20, 16 << 20, 64 << 20} {
+		got, err := n.AllToAllUs(UniformMatrix(cl.TotalGPUs(), bytes))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := cm.ActualInstr(&ir.Instr{Op: ir.OpAllToAll, Bytes: bytes, CommDevices: cl.TotalGPUs()})
+		if rel := math.Abs(got-want) / want; rel > 0.10 {
+			t.Errorf("bytes=%d: netsim %v us vs closed-form %v us (%.1f%% apart)",
+				bytes, got, want, rel*100)
+		}
+	}
+}
+
+func TestHotDeviceSlowsCompletion(t *testing.T) {
+	cl := hw.V100Cluster(2)
+	n := New(cl)
+	g := cl.TotalGPUs()
+	uniform := UniformMatrix(g, 16<<20)
+	tU, err := n.AllToAllUs(uniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same total volume, but half of every device's traffic targets device
+	// 8 (on the other node for src < 8): a pure ingress hotspot.
+	hot := UniformMatrix(g, 16<<20)
+	for src := range hot {
+		moved := int64(0)
+		for dst := range hot[src] {
+			if dst == 8 || dst == src {
+				continue
+			}
+			take := hot[src][dst] / 2
+			hot[src][dst] -= take
+			moved += take
+		}
+		hot[src][8] += moved
+	}
+	tH, err := n.AllToAllUs(hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tH <= tU*1.5 {
+		t.Errorf("hotspot a2a %v us should be much slower than uniform %v us", tH, tU)
+	}
+}
+
+func TestEmptyAndErrors(t *testing.T) {
+	cl := hw.V100Cluster(2)
+	n := New(cl)
+	g := cl.TotalGPUs()
+	zero := UniformMatrix(g, 0)
+	if got, err := n.AllToAllUs(zero); err != nil || got != 0 {
+		t.Errorf("empty a2a = %v, %v; want 0, nil", got, err)
+	}
+	if _, err := n.AllToAllUs(UniformMatrix(4, 1<<20)); err == nil {
+		t.Error("wrong matrix size must error")
+	}
+	bad := UniformMatrix(g, 1<<20)
+	bad[0][1] = -5
+	if _, err := n.AllToAllUs(bad); err == nil {
+		t.Error("negative payload must error")
+	}
+	ragged := UniformMatrix(g, 1<<20)
+	ragged[3] = ragged[3][:4]
+	if _, err := n.AllToAllUs(ragged); err == nil {
+		t.Error("ragged matrix must error")
+	}
+}
+
+func TestScaleCounts(t *testing.T) {
+	counts := [][]int{{0, 2}, {3, 0}}
+	m := ScaleCounts(counts, 100, 0.5)
+	if m[0][1] != 100 || m[1][0] != 150 || m[0][0] != 0 {
+		t.Errorf("ScaleCounts = %v", m)
+	}
+}
+
+// Property: completion time is monotone under adding traffic.
+func TestMonotoneUnderTrafficProperty(t *testing.T) {
+	cl := hw.V100Cluster(2)
+	n := New(cl)
+	g := cl.TotalGPUs()
+	f := func(src, dst uint8, extra uint32) bool {
+		m := UniformMatrix(g, 8<<20)
+		base, err := n.AllToAllUs(m)
+		if err != nil {
+			return false
+		}
+		s, d := int(src)%g, int(dst)%g
+		if s == d {
+			return true
+		}
+		m[s][d] += int64(extra)
+		bigger, err := n.AllToAllUs(m)
+		if err != nil {
+			return false
+		}
+		return bigger >= base-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: permuting device labels within a node leaves completion time
+// unchanged (intra-node symmetry).
+func TestIntraNodeSymmetryProperty(t *testing.T) {
+	cl := hw.V100Cluster(2)
+	n := New(cl)
+	g := cl.TotalGPUs()
+	f := func(a, b uint8) bool {
+		x, y := int(a)%8, int(b)%8 // both on node 0
+		m := UniformMatrix(g, 8<<20)
+		m[0][5] += 12345 // some asymmetry elsewhere
+		t1, err := n.AllToAllUs(m)
+		if err != nil {
+			return false
+		}
+		// Swap rows and columns x<->y.
+		m[x], m[y] = m[y], m[x]
+		for src := range m {
+			m[src][x], m[src][y] = m[src][y], m[src][x]
+		}
+		t2, err := n.AllToAllUs(m)
+		if err != nil {
+			return false
+		}
+		return math.Abs(t1-t2) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkAllToAllMatrix(b *testing.B) {
+	n := New(hw.V100Cluster(8))
+	m := UniformMatrix(64, 16<<20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := n.AllToAllUs(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

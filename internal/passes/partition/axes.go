@@ -1,0 +1,228 @@
+// Package partition implements Lancet's operator partition pass (paper
+// Sec. 5): dynamic-programming selection of the optimal partition range
+// around each all-to-all (Sec. 5.1), partition-axis inference by constraint
+// satisfaction including the special irregular axis Airr (Sec. 5.2), the
+// stage-based pipeline scheduler that prices a candidate partition
+// (Sec. 5.3), and the IR rewrite that materializes the chosen pipelines.
+package partition
+
+import (
+	"lancet/internal/ir"
+)
+
+// Axis is a tensor partition axis. The numeric batch/capacity axes follow
+// the paper's convention (activations are [B,S,H], dispatch buffers are
+// [E,C,H]); AxisIrr is the special irregular partition of MoE tensors
+// (paper Fig. 5c / Sec. 5.2).
+type Axis int
+
+const (
+	// AxisNP marks tensors that are not partitioned (weights, and tensors
+	// outside any pipeline).
+	AxisNP Axis = iota
+	// AxisBatch splits activations along the batch dimension (axis 0).
+	AxisBatch
+	// AxisCap splits dispatch buffers along the capacity dimension
+	// (axis 1 of [E,C,H]) — the Tutel-style partition, valid only while
+	// the range covers nothing but all-to-alls and experts.
+	AxisCap
+	// AxisIrr is the irregular partition: tokens grouped by originating
+	// micro-batch, with capacity passed between partitions.
+	AxisIrr
+	// AxisPartial marks partial-sum outputs (expert weight gradients
+	// computed per token chunk): every piece has the full shape and the
+	// reconstruction accumulates in place (free), which is how chunked
+	// GEMMs accumulate with beta=1.
+	AxisPartial
+)
+
+func (a Axis) String() string {
+	switch a {
+	case AxisNP:
+		return "NP"
+	case AxisBatch:
+		return "batch"
+	case AxisCap:
+		return "capacity"
+	case AxisIrr:
+		return "Airr"
+	case AxisPartial:
+		return "partial"
+	}
+	return "axis(?)"
+}
+
+// Assignment maps tensor IDs to their inferred partition axes.
+type Assignment map[int]Axis
+
+// inferAxes solves the constraint satisfaction problem of Sec. 5.2 for the
+// given window of instructions: find a partition axis for every non-weight
+// tensor the window touches such that each operator's partition constraint
+// F_Z holds and tensors keep a single axis throughout. Returns nil when the
+// window is not partitionable (e.g. it contains a gate that cannot route
+// partial batches).
+//
+// Domain ordering encodes the paper's preference: capacity-axis partitions
+// are tried before Airr, so windows covering only all-to-alls and experts
+// get the simple Tutel-style partition, while anything extending past the
+// gather (or through the gate) is forced onto Airr by the constraints.
+func inferAxes(g *ir.Graph, window []*ir.Instr, gatePartialBatch bool) Assignment {
+	asg := make(Assignment)
+	// Weights are never partitioned; pre-assign them.
+	for _, in := range window {
+		for _, t := range in.Ins {
+			if g.Tensor(t).Kind == ir.Weight {
+				asg[t] = AxisNP
+			}
+		}
+	}
+	if !solve(g, window, 0, asg, gatePartialBatch) {
+		return nil
+	}
+	return asg
+}
+
+// solve assigns axes instruction by instruction with backtracking.
+func solve(g *ir.Graph, window []*ir.Instr, idx int, asg Assignment, gatePartial bool) bool {
+	if idx == len(window) {
+		return true
+	}
+	in := window[idx]
+	for _, combo := range opCombos(g, in, gatePartial) {
+		var touched []int
+		ok := true
+		for _, bind := range combo {
+			if cur, exists := asg[bind.tensor]; exists {
+				if cur != bind.axis {
+					ok = false
+					break
+				}
+				continue
+			}
+			asg[bind.tensor] = bind.axis
+			touched = append(touched, bind.tensor)
+		}
+		if ok && solve(g, window, idx+1, asg, gatePartial) {
+			return true
+		}
+		for _, t := range touched {
+			delete(asg, t)
+		}
+	}
+	return false
+}
+
+type binding struct {
+	tensor int
+	axis   Axis
+}
+
+// opCombos enumerates the valid axis assignments F_Z for one instruction,
+// in preference order.
+func opCombos(g *ir.Graph, in *ir.Instr, gatePartial bool) [][]binding {
+	nonWeightIns := func() []int {
+		var ids []int
+		for _, t := range in.Ins {
+			if g.Tensor(t).Kind != ir.Weight {
+				ids = append(ids, t)
+			}
+		}
+		return ids
+	}
+
+	switch in.Op {
+	case ir.OpLayerNorm, ir.OpGeLU, ir.OpAdd, ir.OpSoftmax, ir.OpMatMul,
+		ir.OpAttnScores, ir.OpAttnContext, ir.OpEmbedding:
+		// Row/batch-parallel operators: all activation inputs and outputs
+		// split along the batch dimension; weights stay whole.
+		var combo []binding
+		for _, t := range nonWeightIns() {
+			combo = append(combo, binding{t, AxisBatch})
+		}
+		for _, t := range in.Outs {
+			combo = append(combo, binding{t, AxisBatch})
+		}
+		return [][]binding{combo}
+
+	case ir.OpGate:
+		// The gate consumes a batch slice and emits an irregularly
+		// partitioned dispatch buffer plus routing metadata — but only if
+		// the routing decision is computable from partial batches
+		// (Sec. 2.3 Challenge 2; Batch Prioritized Routing is not).
+		if !gatePartial {
+			return nil
+		}
+		combo := []binding{}
+		for _, t := range nonWeightIns() {
+			combo = append(combo, binding{t, AxisBatch})
+		}
+		for _, t := range in.Outs {
+			combo = append(combo, binding{t, AxisIrr})
+		}
+		return [][]binding{combo}
+
+	case ir.OpAllToAll, ir.OpExpertFFN:
+		// Capacity-dim partition while the range covers only a2a+experts;
+		// irregular otherwise. Both propagate input axis to output —
+		// except expert weight gradients, which become partial sums
+		// accumulated across chunks.
+		var combos [][]binding
+		for _, ax := range []Axis{AxisCap, AxisIrr} {
+			var combo []binding
+			for _, t := range nonWeightIns() {
+				combo = append(combo, binding{t, ax})
+			}
+			outAx := ax
+			if in.Op == ir.OpExpertFFN && in.Grad == ir.GradDW {
+				outAx = AxisPartial
+			}
+			for _, t := range in.Outs {
+				combo = append(combo, binding{t, outAx})
+			}
+			combos = append(combos, combo)
+		}
+		return combos
+
+	case ir.OpMoEGather:
+		// The gather only accepts irregularly partitioned inputs (a
+		// capacity split would scatter each partition's tokens across the
+		// whole output, Fig. 5a) and restores the batch partition.
+		var combo []binding
+		for _, t := range nonWeightIns() {
+			combo = append(combo, binding{t, AxisIrr})
+		}
+		for _, t := range in.Outs {
+			combo = append(combo, binding{t, AxisBatch})
+		}
+		return [][]binding{combo}
+	}
+	// Any other operator (communication collectives other than a2a, loss,
+	// optimizer...) cannot be partitioned.
+	return nil
+}
+
+// maxParts returns the largest partition count the assignment supports: no
+// tensor can be split into more parts than its partition dimension holds.
+func maxParts(g *ir.Graph, asg Assignment) int {
+	limit := int(^uint(0) >> 1)
+	for t, ax := range asg {
+		shape := g.Tensor(t).Shape
+		var dim int
+		switch ax {
+		case AxisNP, AxisPartial:
+			continue
+		case AxisBatch:
+			dim = shape[0]
+		case AxisCap, AxisIrr:
+			if len(shape) >= 2 {
+				dim = shape[1]
+			} else {
+				dim = shape[0]
+			}
+		}
+		if dim < limit {
+			limit = dim
+		}
+	}
+	return limit
+}

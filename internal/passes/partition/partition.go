@@ -1,0 +1,179 @@
+package partition
+
+import (
+	"fmt"
+	"math"
+
+	"lancet/internal/cost"
+	"lancet/internal/ir"
+)
+
+// Options configures the pass. The three knobs mirror the paper's
+// hyper-parameters (Sec. 6): rho (max partitions), gamma (group size) and
+// iota (max partition range).
+type Options struct {
+	// MaxPartitions is rho, the largest partition count considered.
+	// Default 8.
+	MaxPartitions int
+	// GroupUs is gamma: consecutive instructions are grouped until their
+	// total predicted time reaches this, and the DP runs over groups.
+	// Default 2000us.
+	GroupUs float64
+	// MaxRangeGroups is iota expressed in groups: the longest candidate
+	// partition range. Default 12.
+	MaxRangeGroups int
+	// GatePartialBatch states whether the model's gating function can
+	// decide routing from partial batches (Switch: yes; Batch Prioritized
+	// Routing: no). It bounds how far pipelines may extend (Sec. 2.3).
+	GatePartialBatch bool
+}
+
+func (o *Options) fillDefaults() {
+	if o.MaxPartitions == 0 {
+		o.MaxPartitions = 8
+	}
+	if o.GroupUs == 0 {
+		o.GroupUs = 2000
+	}
+	if o.MaxRangeGroups == 0 {
+		o.MaxRangeGroups = 12
+	}
+}
+
+// Range is one chosen pipeline: the instructions [Start, End] (input-graph
+// program order, inclusive) partitioned K ways.
+type Range struct {
+	Start, End  int
+	K           int
+	Axes        Assignment
+	PredictedUs float64
+	SerialUs    float64
+}
+
+// Result reports the pass outcome.
+type Result struct {
+	// Graph is the rewritten program with pipelines materialized.
+	Graph *ir.Graph
+	// Ranges are the chosen pipelines.
+	Ranges []Range
+	// Evaluations counts P(i,n,k) pipeline-cost evaluations performed.
+	Evaluations int
+	// ForwardUs is T(N), the DP's predicted optimal forward time.
+	ForwardUs float64
+	// SerialForwardUs is the predicted unpartitioned forward time.
+	SerialForwardUs float64
+}
+
+// Run executes the operator partition pass.
+func Run(g *ir.Graph, cm *cost.Model, opts Options) (*Result, error) {
+	opts.fillDefaults()
+
+	// The forward pass is the program prefix; everything after is
+	// backward/optimizer and is handled by the dW scheduling pass.
+	fwdEnd := len(g.Instrs)
+	for i, in := range g.Instrs {
+		if in.Phase != ir.Forward {
+			fwdEnd = i
+			break
+		}
+	}
+
+	bounds := makeGroups(g, cm, fwdEnd, opts.GroupUs)
+	n := len(bounds) - 1 // number of groups
+
+	res := &Result{}
+	type choice struct {
+		from int
+		k    int
+		axes Assignment
+		pUs  float64
+		sUs  float64
+	}
+	T := make([]float64, n+1)
+	best := make([]choice, n+1)
+	for j := 1; j <= n; j++ {
+		T[j] = math.Inf(1)
+		lo := j - opts.MaxRangeGroups
+		if lo < 0 {
+			lo = 0
+		}
+		for i := lo; i < j; i++ {
+			window := g.Instrs[bounds[i]:bounds[j]]
+			serial := serialCost(cm, window)
+			if t := T[i] + serial; t < T[j] {
+				T[j] = t
+				best[j] = choice{from: i, k: 1, sUs: serial}
+			}
+			if !windowHasA2A(window) {
+				continue
+			}
+			asg := inferAxes(g, window, opts.GatePartialBatch)
+			if asg == nil {
+				continue
+			}
+			kmax := opts.MaxPartitions
+			if m := maxParts(g, asg); m < kmax {
+				kmax = m
+			}
+			for k := 2; k <= kmax; k++ {
+				p := pipelineCost(g, cm, window, asg, k)
+				res.Evaluations++
+				if t := T[i] + p; t < T[j] {
+					T[j] = t
+					best[j] = choice{from: i, k: k, axes: asg, pUs: p, sUs: serial}
+				}
+			}
+		}
+	}
+	res.ForwardUs = T[n]
+	res.SerialForwardUs = serialCost(cm, g.Instrs[:fwdEnd])
+
+	// Backtrack the chosen ranges.
+	for j := n; j > 0; {
+		c := best[j]
+		if c.k >= 2 {
+			res.Ranges = append(res.Ranges, Range{
+				Start: bounds[c.from], End: bounds[j] - 1,
+				K: c.k, Axes: c.axes, PredictedUs: c.pUs, SerialUs: c.sUs,
+			})
+		}
+		j = c.from
+	}
+	// Reverse into program order.
+	for l, r := 0, len(res.Ranges)-1; l < r; l, r = l+1, r-1 {
+		res.Ranges[l], res.Ranges[r] = res.Ranges[r], res.Ranges[l]
+	}
+
+	ng, err := applyRanges(g, res.Ranges)
+	if err != nil {
+		return nil, fmt.Errorf("partition: rewrite failed: %w", err)
+	}
+	res.Graph = ng
+	return res, nil
+}
+
+// makeGroups splits the forward prefix [0, fwdEnd) into groups of roughly
+// groupUs predicted time and returns the group boundaries: bounds[i] is the
+// first instruction of group i, bounds[len-1] == fwdEnd.
+func makeGroups(g *ir.Graph, cm *cost.Model, fwdEnd int, groupUs float64) []int {
+	bounds := []int{0}
+	acc := 0.0
+	for i := 0; i < fwdEnd; i++ {
+		acc += cm.PredictInstr(g.Instr(i))
+		if acc >= groupUs && i+1 < fwdEnd {
+			bounds = append(bounds, i+1)
+			acc = 0
+		}
+	}
+	bounds = append(bounds, fwdEnd)
+	return bounds
+}
+
+func windowHasA2A(window []*ir.Instr) bool {
+	for _, in := range window {
+		if in.Op == ir.OpAllToAll {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,169 @@
+package partition
+
+import (
+	"lancet/internal/cost"
+	"lancet/internal/ir"
+)
+
+// stageOf assigns each window position to a pipeline stage: a stage is a
+// maximal run of instructions that execute consecutively on the same stream
+// (all computation or all communication), per Sec. 5.3.
+func stageOf(window []*ir.Instr) []int {
+	st := make([]int, len(window))
+	cur := 0
+	for i, in := range window {
+		if i > 0 && in.IsComm() != window[i-1].IsComm() {
+			cur++
+		}
+		st[i] = cur
+	}
+	return st
+}
+
+// instanceRef identifies one micro-partition instance of a window op.
+type instanceRef struct {
+	pos  int // index into the window
+	part int
+}
+
+// schedulePlan returns the pipeline issue order of Fig. 9: stages in order;
+// within a stage, partitions in index order; within a stage-partition pair,
+// original program order.
+func schedulePlan(window []*ir.Instr, k int) []instanceRef {
+	st := stageOf(window)
+	nStages := 0
+	if len(window) > 0 {
+		nStages = st[len(window)-1] + 1
+	}
+	plan := make([]instanceRef, 0, len(window)*k)
+	for s := 0; s < nStages; s++ {
+		for p := 0; p < k; p++ {
+			for pos, stage := range st {
+				if stage == s {
+					plan = append(plan, instanceRef{pos, p})
+				}
+			}
+		}
+	}
+	return plan
+}
+
+// instanceDur prices one micro-partition of an op. All-to-alls use the
+// paper's static-shape approximation (query the profiled table at C/n);
+// compute ops are re-profiled at 1/k of their work, which captures kernel
+// launch overhead and SM under-utilization of small kernels.
+func instanceDur(cm *cost.Model, in *ir.Instr, k int) float64 {
+	if in.Op == ir.OpAllToAll {
+		return cm.PredictA2APartitioned(in.Bytes, in.CommDevices, k)
+	}
+	c := ir.CopyInstr(in)
+	c.FLOPs /= float64(k)
+	c.Bytes /= int64(k)
+	c.NumParts = k
+	return cm.PredictInstr(c)
+}
+
+// boundaryCostUs prices the Partition/Reconstruct plumbing at the pipeline
+// edges. Batch- and capacity-axis splits are views into contiguous buffers
+// (free); irregular splits and reconstructions physically regroup tokens
+// and pay memory traffic.
+func boundaryCostUs(g *ir.Graph, cm *cost.Model, window []*ir.Instr, asg Assignment) float64 {
+	inside := make(map[int]bool, len(window))
+	produced := make(map[int]bool)
+	for _, in := range window {
+		inside[in.ID] = true
+		for _, t := range in.Outs {
+			produced[t] = true
+		}
+	}
+	total := 0.0
+	copyCost := func(t int) float64 {
+		in := &ir.Instr{Op: ir.OpReconstruct, Bytes: 2 * g.Tensor(t).Bytes()}
+		return cm.PredictInstr(in)
+	}
+	seen := make(map[int]bool)
+	for _, in := range window {
+		for _, t := range in.Ins {
+			if produced[t] || seen[t] {
+				continue
+			}
+			seen[t] = true
+			if asg[t] == AxisIrr {
+				total += copyCost(t) // irregular boundary split
+			}
+		}
+	}
+	for t := range produced {
+		if asg[t] != AxisIrr {
+			continue
+		}
+		for _, c := range g.Consumers(t) {
+			if !inside[c] {
+				total += copyCost(t) // irregular boundary reconstruct
+				break
+			}
+		}
+	}
+	return total
+}
+
+// pipelineCost simulates the stage pipeline and returns P(i, n, k): the
+// end-to-end time of the partitioned window (Sec. 5.3). Each instance's
+// start time is the maximum of (i) the end of the instances it depends on
+// and (ii) the end of the previous instance on its stream.
+func pipelineCost(g *ir.Graph, cm *cost.Model, window []*ir.Instr, asg Assignment, k int) float64 {
+	// Window-local dependency edges (by position).
+	posOf := make(map[int]int, len(window))
+	for i, in := range window {
+		posOf[in.ID] = i
+	}
+	deps := make([][]int, len(window))
+	for i, in := range window {
+		for _, p := range g.Preds(in.ID) {
+			if j, ok := posOf[p]; ok {
+				deps[i] = append(deps[i], j)
+			}
+		}
+	}
+	durs := make([]float64, len(window))
+	for i, in := range window {
+		durs[i] = instanceDur(cm, in, k)
+	}
+
+	end := make([][]float64, len(window))
+	for i := range end {
+		end[i] = make([]float64, k)
+	}
+	var clock [2]float64
+	span := 0.0
+	for _, ref := range schedulePlan(window, k) {
+		in := window[ref.pos]
+		stream := 0
+		if in.IsComm() {
+			stream = 1
+		}
+		start := clock[stream]
+		for _, d := range deps[ref.pos] {
+			if end[d][ref.part] > start {
+				start = end[d][ref.part]
+			}
+		}
+		e := start + durs[ref.pos]
+		end[ref.pos][ref.part] = e
+		clock[stream] = e
+		if e > span {
+			span = e
+		}
+	}
+	return span + boundaryCostUs(g, cm, window, asg)
+}
+
+// serialCost is the unpartitioned execution time of the window: the plain
+// sum of operator times (the forward pass is a dependency chain).
+func serialCost(cm *cost.Model, window []*ir.Instr) float64 {
+	total := 0.0
+	for _, in := range window {
+		total += cm.PredictInstr(in)
+	}
+	return total
+}

@@ -1,0 +1,238 @@
+// Package sim executes an IR schedule on a simulated device and produces a
+// timeline. It models what a CUDA device with one compute stream and one
+// communication (NCCL) stream does: instructions issue in schedule order on
+// their stream, start when both their data dependencies and their stream are
+// free, and run for the duration given by the cost model.
+//
+// Because training is SPMD (every device runs the same program, collectives
+// are priced at cluster scope), a single device timeline is the iteration
+// time — the same reduction the paper's pipeline scheduler makes (Sec. 5.3).
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"lancet/internal/cost"
+	"lancet/internal/ir"
+)
+
+// Stream identifies which hardware queue an instruction occupies.
+type Stream int
+
+const (
+	StreamCompute Stream = iota
+	StreamComm
+)
+
+// Span records one executed instruction.
+type Span struct {
+	Instr   int
+	Stream  Stream
+	StartUs float64
+	EndUs   float64
+}
+
+// Breakdown decomposes an iteration the way paper Figs. 2 and 13 do.
+type Breakdown struct {
+	// Busy time per stream (sum of span durations).
+	CommBusyUs    float64
+	ComputeBusyUs float64
+	// OverlapUs is wall-clock time during which both streams were busy.
+	OverlapUs float64
+	// Non-overlapped portions: busy time minus overlap.
+	NonOverlappedCommUs    float64
+	NonOverlappedComputeUs float64
+	// Category totals used by Fig. 2.
+	AllToAllUs float64
+	ExpertUs   float64
+	OtherUs    float64
+	// NonOverlappedA2AUs is all-to-all busy time not covered by compute —
+	// the quantity Lancet's passes attack specifically.
+	NonOverlappedA2AUs float64
+}
+
+// Timeline is the result of a simulated iteration.
+type Timeline struct {
+	Spans   []Span
+	TotalUs float64
+	Breakdown
+}
+
+// Executor runs schedules against a cost model.
+type Executor struct {
+	Cost *cost.Model
+	// JitterPct adds a deterministic per-execution uniform perturbation of
+	// +-JitterPct to every instruction (0 disables). "Actual" runs use a
+	// few percent; predictions use 0.
+	JitterPct float64
+	// SystematicPct adds a run-wide speed factor of +-SystematicPct drawn
+	// once per seed, modeling correlated run-to-run variation (network
+	// state, stragglers) that per-op jitter averages away. It is the main
+	// source of prediction error in the Fig. 14 experiment.
+	SystematicPct float64
+	// Seed drives the jitter stream.
+	Seed int64
+	// Predict prices instructions with the optimizer-visible cost model
+	// (cached profiles + interpolated comm tables) instead of ground
+	// truth. Used to evaluate cost-model accuracy (Fig. 14).
+	Predict bool
+	// A2ABytesOverride substitutes the actual (irregular, unpadded)
+	// payload for specific all-to-all instructions, priced with the
+	// two-phase irregular exchange of Fig. 10. Keyed by instruction ID.
+	A2ABytesOverride map[int]int64
+	// A2ADurOverrideUs overrides specific all-to-all durations outright
+	// (microseconds), for callers that price irregular transfer matrices
+	// with a link-level network simulator. Takes precedence over
+	// A2ABytesOverride; ignored in Predict mode.
+	A2ADurOverrideUs map[int]float64
+}
+
+// Run executes the schedule and returns its timeline.
+func (e *Executor) Run(g *ir.Graph, order []int) (*Timeline, error) {
+	if err := g.ValidateSchedule(order); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	rng := rand.New(rand.NewSource(e.Seed))
+	sysScale := 1.0
+	if !e.Predict && e.SystematicPct > 0 {
+		sysRng := rand.New(rand.NewSource(e.Seed ^ 0x5eed))
+		sysScale = 1 + (sysRng.Float64()*2-1)*e.SystematicPct
+	}
+	end := make([]float64, len(g.Instrs))
+	var clock [2]float64 // per-stream frontier
+	tl := &Timeline{Spans: make([]Span, 0, len(order))}
+
+	for _, id := range order {
+		in := g.Instr(id)
+		stream := StreamCompute
+		if in.IsComm() {
+			stream = StreamComm
+		}
+		ready := clock[stream]
+		for _, p := range g.Preds(id) {
+			if end[p] > ready {
+				ready = end[p]
+			}
+		}
+		dur := e.duration(in, rng) * sysScale
+		span := Span{Instr: id, Stream: stream, StartUs: ready, EndUs: ready + dur}
+		end[id] = span.EndUs
+		clock[stream] = span.EndUs
+		tl.Spans = append(tl.Spans, span)
+		if span.EndUs > tl.TotalUs {
+			tl.TotalUs = span.EndUs
+		}
+	}
+	tl.Breakdown = computeBreakdown(g, tl.Spans)
+	return tl, nil
+}
+
+func (e *Executor) duration(in *ir.Instr, rng *rand.Rand) float64 {
+	var dur float64
+	if in.Op == ir.OpAllToAll && !e.Predict && e.A2ADurOverrideUs != nil {
+		if d, ok := e.A2ADurOverrideUs[in.ID]; ok {
+			if e.JitterPct > 0 {
+				d *= 1 + (rng.Float64()*2-1)*e.JitterPct
+			}
+			return d
+		}
+	}
+	switch {
+	case in.Op == ir.OpAllToAll && e.A2ABytesOverride != nil:
+		if b, ok := e.A2ABytesOverride[in.ID]; ok {
+			if e.Predict {
+				dur = e.Cost.PredictIrregularA2A(b, in.CommDevices)
+			} else {
+				dur = e.Cost.IrregularA2AUs(b, in.CommDevices)
+			}
+			break
+		}
+		fallthrough
+	case e.Predict:
+		dur = e.Cost.PredictInstr(in)
+	default:
+		dur = e.Cost.ActualInstr(in)
+	}
+	if !e.Predict && e.JitterPct > 0 {
+		dur *= 1 + (rng.Float64()*2-1)*e.JitterPct
+	}
+	return dur
+}
+
+func computeBreakdown(g *ir.Graph, spans []Span) Breakdown {
+	var b Breakdown
+	var comm, comp, a2a []interval
+	for _, s := range spans {
+		in := g.Instr(s.Instr)
+		dur := s.EndUs - s.StartUs
+		if s.Stream == StreamComm {
+			b.CommBusyUs += dur
+			comm = append(comm, interval{s.StartUs, s.EndUs})
+		} else {
+			b.ComputeBusyUs += dur
+			comp = append(comp, interval{s.StartUs, s.EndUs})
+		}
+		switch in.Op {
+		case ir.OpAllToAll:
+			b.AllToAllUs += dur
+			a2a = append(a2a, interval{s.StartUs, s.EndUs})
+		case ir.OpExpertFFN:
+			b.ExpertUs += dur
+		default:
+			b.OtherUs += dur
+		}
+	}
+	mergedComp := merge(comp)
+	b.OverlapUs = intersectionMeasure(merge(comm), mergedComp)
+	b.NonOverlappedA2AUs = b.AllToAllUs - intersectionMeasure(merge(a2a), mergedComp)
+	b.NonOverlappedCommUs = b.CommBusyUs - b.OverlapUs
+	b.NonOverlappedComputeUs = b.ComputeBusyUs - b.OverlapUs
+	return b
+}
+
+type interval struct{ lo, hi float64 }
+
+func merge(xs []interval) []interval {
+	if len(xs) == 0 {
+		return nil
+	}
+	sort.Slice(xs, func(i, j int) bool { return xs[i].lo < xs[j].lo })
+	out := []interval{xs[0]}
+	for _, x := range xs[1:] {
+		last := &out[len(out)-1]
+		if x.lo <= last.hi {
+			if x.hi > last.hi {
+				last.hi = x.hi
+			}
+		} else {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func intersectionMeasure(a, b []interval) float64 {
+	total := 0.0
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		lo := a[i].lo
+		if b[j].lo > lo {
+			lo = b[j].lo
+		}
+		hi := a[i].hi
+		if b[j].hi < hi {
+			hi = b[j].hi
+		}
+		if hi > lo {
+			total += hi - lo
+		}
+		if a[i].hi < b[j].hi {
+			i++
+		} else {
+			j++
+		}
+	}
+	return total
+}

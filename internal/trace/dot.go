@@ -1,0 +1,47 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"lancet/internal/ir"
+)
+
+// ExportDOT renders the IR dependency graph in Graphviz DOT format:
+// communication ops are green boxes, weight-gradient ops orange, and
+// partitioned micro-instances are labelled with their pipeline position.
+// Useful for inspecting what the passes did to a layer
+// (`dot -Tsvg graph.dot -o graph.svg`).
+func ExportDOT(g *ir.Graph) []byte {
+	var b strings.Builder
+	b.WriteString("digraph lancet {\n  rankdir=LR;\n  node [shape=box, fontsize=10];\n")
+	for _, in := range g.Instrs {
+		label := in.Name
+		if label == "" {
+			label = in.Op.String()
+		}
+		if in.Grad != ir.GradNone {
+			label += "." + in.Grad.String()
+		}
+		if in.NumParts > 1 {
+			label += fmt.Sprintf(" [%d/%d]", in.PartIdx+1, in.NumParts)
+		}
+		attrs := ""
+		switch {
+		case in.IsComm():
+			attrs = ", style=filled, fillcolor=palegreen"
+		case in.IsDW():
+			attrs = ", style=filled, fillcolor=orange"
+		case in.Op == ir.OpPartitionSplit || in.Op == ir.OpReconstruct:
+			attrs = ", style=filled, fillcolor=lightgray"
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q%s];\n", in.ID, label, attrs)
+	}
+	for _, in := range g.Instrs {
+		for _, p := range g.Preds(in.ID) {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", p, in.ID)
+		}
+	}
+	b.WriteString("}\n")
+	return []byte(b.String())
+}

@@ -1,0 +1,59 @@
+// Package trace exports simulated timelines in the Chrome trace-event JSON
+// format (load via chrome://tracing or https://ui.perfetto.dev) so the
+// computation-communication pipelines Lancet forms can be inspected
+// visually.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"lancet/internal/ir"
+	"lancet/internal/sim"
+)
+
+type event struct {
+	Name     string         `json:"name"`
+	Category string         `json:"cat"`
+	Phase    string         `json:"ph"`
+	TS       float64        `json:"ts"`
+	Dur      float64        `json:"dur"`
+	PID      int            `json:"pid"`
+	TID      int            `json:"tid"`
+	Args     map[string]any `json:"args,omitempty"`
+}
+
+// Export renders a timeline as Chrome trace JSON. Compute spans appear on
+// tid 0 ("compute stream"), communication on tid 1 ("comm stream").
+func Export(g *ir.Graph, tl *sim.Timeline) ([]byte, error) {
+	events := []event{
+		{Name: "process_name", Phase: "M", PID: 0, Args: map[string]any{"name": "device 0 (SPMD)"}},
+		{Name: "thread_name", Phase: "M", PID: 0, TID: 0, Args: map[string]any{"name": "compute stream"}},
+		{Name: "thread_name", Phase: "M", PID: 0, TID: 1, Args: map[string]any{"name": "comm stream"}},
+	}
+	for _, s := range tl.Spans {
+		in := g.Instr(s.Instr)
+		name := in.Name
+		if name == "" {
+			name = in.Op.String()
+		}
+		if in.NumParts > 1 {
+			name = fmt.Sprintf("%s[%d/%d]", name, in.PartIdx+1, in.NumParts)
+		}
+		cat := "compute"
+		if s.Stream == sim.StreamComm {
+			cat = "comm"
+		}
+		events = append(events, event{
+			Name: name, Category: cat, Phase: "X",
+			TS: s.StartUs, Dur: s.EndUs - s.StartUs,
+			PID: 0, TID: int(s.Stream),
+			Args: map[string]any{
+				"op":    in.Op.String(),
+				"grad":  in.Grad.String(),
+				"layer": in.Layer,
+			},
+		})
+	}
+	return json.MarshalIndent(map[string]any{"traceEvents": events}, "", " ")
+}

@@ -1,0 +1,619 @@
+// Package lancet is a Go reproduction of "Lancet: Accelerating
+// Mixture-of-Experts Training via Whole Graph Computation-Communication
+// Overlapping" (MLSys 2024).
+//
+// Lancet optimizes MoE training iterations with two compiler passes over an
+// instruction-sequence IR: scheduling weight-gradient computation to overlap
+// backward-pass all-to-alls, and partitioning forward-pass operators —
+// including non-MoE computation — into communication-computation pipelines
+// chosen by dynamic programming.
+//
+// Because no GPU cluster is available, hardware is substituted with a
+// calibrated analytic cost model and a discrete-event two-stream execution
+// simulator (see DESIGN.md); the compiler passes themselves are faithful to
+// the paper's algorithms.
+//
+// Typical use:
+//
+//	sess, _ := lancet.NewSession(lancet.GPT2SMoE(16), lancet.MustCluster("V100", 16))
+//	plan, _ := sess.Lancet(lancet.Options{})
+//	base, _ := sess.Baseline(lancet.FrameworkTutel)
+//	fmt.Println(plan.MustSimulate(1).IterationMs, base.MustSimulate(1).IterationMs)
+package lancet
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"lancet/internal/baselines"
+	"lancet/internal/cost"
+	"lancet/internal/hw"
+	"lancet/internal/ir"
+	"lancet/internal/model"
+	"lancet/internal/moe"
+	"lancet/internal/netsim"
+	"lancet/internal/passes/commprio"
+	"lancet/internal/passes/dwsched"
+	"lancet/internal/passes/partition"
+	"lancet/internal/sim"
+	"lancet/internal/tensor"
+	"lancet/internal/trace"
+)
+
+// Re-exported configuration types. External users interact with these; the
+// internal packages stay private.
+type (
+	// ModelConfig specifies the benchmark model (see GPT2SMoE/GPT2LMoE).
+	ModelConfig = model.Config
+	// Cluster is the simulated hardware (see MustCluster).
+	Cluster = hw.Cluster
+	// GateKind selects the MoE routing algorithm.
+	GateKind = model.GateKind
+)
+
+// Gate kinds.
+const (
+	GateSwitch        = model.GateSwitch
+	GateTop2          = model.GateTop2
+	GateBatchPriority = model.GateBatchPriority
+	GateRandom        = model.GateRandom
+	GateHash          = model.GateHash
+	GateExpertChoice  = model.GateExpertChoice
+)
+
+// Framework names accepted by Session.Baseline.
+const (
+	FrameworkDeepSpeed = "deepspeed"
+	FrameworkRAF       = "raf"
+	FrameworkTutel     = "tutel"
+	FrameworkFasterMoE = "fastermoe"
+	FrameworkLancet    = "lancet"
+)
+
+// GPT2SMoE returns the small benchmark model with the paper's per-GPU batch
+// size for the given GPU type inferred later by NewSession; pass batch <= 0
+// to use the paper's defaults.
+func GPT2SMoE(batch int) ModelConfig {
+	cfg := model.GPT2SMoE()
+	if batch > 0 {
+		cfg.BatchPerGPU = batch
+	}
+	return cfg
+}
+
+// GPT2LMoE returns the large benchmark model; see GPT2SMoE.
+func GPT2LMoE(batch int) ModelConfig {
+	cfg := model.GPT2LMoE()
+	if batch > 0 {
+		cfg.BatchPerGPU = batch
+	}
+	return cfg
+}
+
+// ViTSMoE returns a ViT-S/16-style vision MoE classifier with Batch
+// Prioritized Routing — the workload family the BPR gate of the paper's
+// Fig. 12 originates from (V-MoE).
+func ViTSMoE(batch int) ModelConfig {
+	cfg := model.ViTSMoE()
+	if batch > 0 {
+		cfg.BatchPerGPU = batch
+	}
+	return cfg
+}
+
+// NewCluster builds a simulated cluster of the given GPU type ("V100" for
+// p3dn nodes, "A100" for p4de) with the given total GPU count.
+func NewCluster(gpuType string, gpus int) (Cluster, error) {
+	return hw.ClusterForGPUs(gpuType, gpus)
+}
+
+// MustCluster is NewCluster, panicking on error.
+func MustCluster(gpuType string, gpus int) Cluster {
+	c, err := NewCluster(gpuType, gpus)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Options are Lancet's optimization hyper-parameters (paper Sec. 6). Zero
+// values select the paper's auto-tuned settings: rho=8, gamma sized so five
+// instruction groups fit between consecutive MoE layers, iota spanning one
+// MoE layer.
+type Options struct {
+	// MaxPartitions is rho, the maximum partition count.
+	MaxPartitions int
+	// GroupUs is gamma, the DP instruction-group granularity.
+	GroupUs float64
+	// MaxRangeGroups is iota, the maximum pipeline length in groups.
+	MaxRangeGroups int
+	// DisableDWSchedule ablates the weight-gradient scheduling pass.
+	DisableDWSchedule bool
+	// DisablePartition ablates the operator partition pass.
+	DisablePartition bool
+	// DWFirstFit replaces the best-fit dW heuristic with first-fit
+	// (ablation of the design choice).
+	DWFirstFit bool
+	// PrioritizeAllToAll additionally runs the Lina-style communication
+	// priority pass (paper Sec. 8): gradient all-reduces are pushed behind
+	// the backward all-to-alls they would otherwise head-of-line block.
+	PrioritizeAllToAll bool
+}
+
+// Session holds a model instance built for a cluster, ready to be planned
+// by Lancet or by the baseline frameworks.
+type Session struct {
+	Config  ModelConfig
+	Cluster Cluster
+	Built   *model.Built
+
+	// WorkloadSkew biases the routing-profile workload toward a few hot
+	// experts (Zipf exponent; 0 = balanced). Skewed routing drops more
+	// tokens and turns the hot expert's device into an ingress bottleneck,
+	// which actual runs price with the link-level network simulator.
+	WorkloadSkew float64
+
+	costRAF  *cost.Model
+	profiles map[int]*routingProfile // cache: micro-batch count -> profile
+}
+
+// routingProfile is what one functional gate run over a proxy batch tells
+// the simulator about a configuration's dispatch traffic.
+type routingProfile struct {
+	devices int
+	tokens  int     // proxy tokens per device
+	routed  int     // total routed slots
+	dropped int     // total dropped slots
+	counts  [][]int // aggregate send matrix [src][dst] in tokens
+	// shares[m] is the fraction of the padded per-device payload
+	// micro-batch m of the split actually moves.
+	shares []float64
+	// hotExpertShare is the fraction of routed tokens on the single most
+	// popular expert (drives FasterMoE-style shadowing).
+	hotExpertShare float64
+}
+
+// NewSession builds the training graph for cfg on the cluster. A
+// non-positive BatchPerGPU selects the paper's batch size for the GPU type.
+func NewSession(cfg ModelConfig, cluster Cluster) (*Session, error) {
+	if cfg.BatchPerGPU <= 0 {
+		cfg.BatchPerGPU = cfg.PaperBatchSize(cluster.Name)
+	}
+	b, err := model.Build(cfg, cluster)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{
+		Config:   cfg,
+		Cluster:  cluster,
+		Built:    b,
+		costRAF:  cost.NewModel(cluster),
+		profiles: make(map[int]*routingProfile),
+	}, nil
+}
+
+// Plan is an executable schedule: a rewritten graph plus the cost model it
+// should run under.
+type Plan struct {
+	Name        string
+	Framework   string
+	Graph       *ir.Graph
+	TutelDegree int
+	// OOM marks configurations whose memory footprint exceeds the device
+	// (rendered as the red crosses of paper Fig. 11).
+	OOM bool
+	// OptimizeTime is the wall-clock time the optimization passes took
+	// (paper Fig. 15).
+	OptimizeTime time.Duration
+	// DWOverlapUs is the predicted all-to-all time covered by scheduled
+	// weight-gradient computation.
+	DWOverlapUs float64
+	// PipelineRanges is the number of partition pipelines chosen by the
+	// DP.
+	PipelineRanges int
+	// DPEvaluations counts P(i,n,k) evaluations (optimization effort).
+	DPEvaluations int
+	// RhoUsed is the maximum-partition limit actually used after the OOM
+	// fallback (paper Sec. 7: rho=8, reduced to 4 then 2 when partition
+	// staging would exceed device memory).
+	RhoUsed int
+
+	sess     *Session
+	costs    *cost.Model
+	spec     baselines.Spec
+	overlaps bool // uses Lancet's irregular all-to-all implementation
+}
+
+// Lancet runs both optimization passes and returns the optimized plan.
+func (s *Session) Lancet(opts Options) (*Plan, error) {
+	start := time.Now()
+	g := s.Built.Graph
+	plan := &Plan{
+		Name: "Lancet", Framework: FrameworkLancet,
+		sess: s, costs: s.costRAF,
+		spec:     baselines.Spec{Name: "Lancet", ComputeScale: 1.0, Memory: model.MemoryCompiled},
+		overlaps: true,
+	}
+
+	if opts.PrioritizeAllToAll {
+		res, err := commprio.Run(g)
+		if err != nil {
+			return nil, fmt.Errorf("lancet: comm priority pass: %w", err)
+		}
+		g = res.Graph
+	}
+
+	if !opts.DisableDWSchedule {
+		strat := dwsched.BestFit
+		if opts.DWFirstFit {
+			strat = dwsched.FirstFit
+		}
+		res, err := dwsched.Run(g, s.costRAF, dwsched.Options{Strategy: strat})
+		if err != nil {
+			return nil, fmt.Errorf("lancet: dW schedule pass: %w", err)
+		}
+		g = res.Graph
+		plan.DWOverlapUs = res.OverlappedUs
+	}
+
+	if !opts.DisablePartition {
+		popts := partition.Options{
+			MaxPartitions:    opts.MaxPartitions,
+			GroupUs:          opts.GroupUs,
+			MaxRangeGroups:   opts.MaxRangeGroups,
+			GatePartialBatch: s.Config.Gate.SupportsPartialBatch(),
+		}
+		if popts.GroupUs == 0 {
+			popts.GroupUs = s.autoGroupUs()
+		}
+		if popts.MaxRangeGroups == 0 {
+			popts.MaxRangeGroups = 7 // ~ five groups between MoE layers plus the core
+		}
+		if popts.MaxPartitions == 0 {
+			popts.MaxPartitions = 8
+		}
+		// Paper Sec. 7: rho starts at 8 and halves (4, then 2) when the
+		// partition staging buffers would not fit in device memory.
+		for {
+			res, err := partition.Run(g, s.costRAF, popts)
+			if err != nil {
+				return nil, fmt.Errorf("lancet: partition pass: %w", err)
+			}
+			if popts.MaxPartitions <= 2 || s.partitionFits(res) {
+				g = res.Graph
+				plan.PipelineRanges = len(res.Ranges)
+				plan.DPEvaluations += res.Evaluations
+				plan.RhoUsed = popts.MaxPartitions
+				break
+			}
+			plan.DPEvaluations += res.Evaluations
+			popts.MaxPartitions /= 2
+		}
+	}
+
+	plan.Graph = g
+	plan.OptimizeTime = time.Since(start)
+	plan.OOM = !s.Built.FitsMemory(plan.spec.Memory)
+	return plan, nil
+}
+
+// partitionFits reports whether the chosen pipelines' staging buffers
+// (each micro-partition double-buffers its slice of the dispatch payload)
+// fit next to the model's training footprint.
+func (s *Session) partitionFits(res *partition.Result) bool {
+	var staging int64
+	for _, r := range res.Ranges {
+		staging += 2 * int64(r.K) * s.Built.A2ABytes
+	}
+	return float64(s.Built.MemoryBytes(model.MemoryCompiled)+staging) <= s.Cluster.MemBytes()
+}
+
+// autoGroupUs sizes gamma so roughly five groups fit between consecutive
+// MoE layers (paper Sec. 7, hyper-parameters).
+func (s *Session) autoGroupUs() float64 {
+	fwd := 0.0
+	for _, in := range s.Built.Graph.Instrs {
+		if in.Phase != ir.Forward {
+			break
+		}
+		fwd += s.costRAF.PredictInstr(in)
+	}
+	n := s.Config.NumMoELayers()
+	if n == 0 {
+		n = 1
+	}
+	return fwd / float64(5*n)
+}
+
+// Baseline plans the model under one of the comparison frameworks:
+// FrameworkDeepSpeed, FrameworkRAF or FrameworkTutel.
+func (s *Session) Baseline(framework string) (*Plan, error) {
+	var spec baselines.Spec
+	switch framework {
+	case FrameworkDeepSpeed:
+		spec = baselines.DeepSpeed
+	case FrameworkRAF:
+		spec = baselines.RAF
+	case FrameworkTutel:
+		spec = baselines.Tutel
+	case FrameworkFasterMoE:
+		spec = baselines.FasterMoE
+	case FrameworkLancet:
+		return s.Lancet(Options{})
+	default:
+		return nil, fmt.Errorf("lancet: unknown framework %q", framework)
+	}
+	cm := cost.NewModel(s.Cluster)
+	cm.ComputeScale = spec.ComputeScale
+	plan := &Plan{
+		Name: spec.Name, Framework: framework,
+		sess: s, costs: cm, spec: spec,
+	}
+	start := time.Now()
+	switch framework {
+	case FrameworkTutel:
+		ex := &sim.Executor{Cost: cm, Predict: true}
+		g, degree, err := baselines.BestTutelPlan(s.Built, cm, func(g *ir.Graph) (float64, error) {
+			tl, err := ex.Run(g, g.DefaultSchedule())
+			if err != nil {
+				return 0, err
+			}
+			return tl.TotalUs, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		plan.Graph, plan.TutelDegree = g, degree
+	case FrameworkFasterMoE:
+		prof, err := s.profile(1)
+		if err != nil {
+			return nil, err
+		}
+		g, err := baselines.FasterMoEPlan(s.Built, cm, prof.hotExpertShare)
+		if err != nil {
+			return nil, err
+		}
+		plan.Graph = g
+	default:
+		plan.Graph = baselines.SequentialPlan(s.Built)
+	}
+	plan.OptimizeTime = time.Since(start)
+	plan.OOM = spec.OOMs(s.Built)
+	return plan, nil
+}
+
+// PredictUs returns the optimizer-visible iteration time estimate (cached
+// profiles, interpolated comm tables, C/n static-shape approximation) —
+// the "predicted time" axis of paper Fig. 14. For Lancet plans the
+// expected irregular payloads, known from the compile-time profiling
+// batch, feed the same interpolated table.
+func (p *Plan) PredictUs() (float64, error) {
+	ex := &sim.Executor{Cost: p.costs, Predict: true}
+	if p.overlaps {
+		bytesOv, _, err := p.sess.irregularOverrides(p.Graph)
+		if err != nil {
+			return 0, err
+		}
+		ex.A2ABytesOverride = bytesOv
+	}
+	tl, err := ex.Run(p.Graph, p.Graph.DefaultSchedule())
+	if err != nil {
+		return 0, err
+	}
+	return tl.TotalUs, nil
+}
+
+// Report is the outcome of one simulated training iteration.
+type Report struct {
+	IterationMs float64
+	// Decomposition (paper Figs. 2 and 13).
+	NonOverlappedCommMs    float64
+	NonOverlappedComputeMs float64
+	OverlapMs              float64
+	// Category views.
+	AllToAllMs         float64
+	NonOverlappedA2AMs float64
+	ExpertMs           float64
+	CommMs             float64
+	ComputeMs          float64
+	// OOM propagates the plan's memory verdict.
+	OOM bool
+}
+
+// Simulate executes the plan for one iteration with execution jitter and —
+// for Lancet plans — the irregular all-to-all payloads derived from
+// functionally routing a token batch (the padded buffers baselines send
+// are replaced by what the gate actually dispatched).
+func (p *Plan) Simulate(seed int64) (*Report, error) {
+	ex := &sim.Executor{Cost: p.costs, JitterPct: 0.02, SystematicPct: 0.04, Seed: seed}
+	if p.overlaps {
+		bytesOv, durOv, err := p.sess.irregularOverrides(p.Graph)
+		if err != nil {
+			return nil, err
+		}
+		ex.A2ABytesOverride = bytesOv
+		ex.A2ADurOverrideUs = durOv
+	}
+	tl, err := ex.Run(p.Graph, p.Graph.DefaultSchedule())
+	if err != nil {
+		return nil, err
+	}
+	return &Report{
+		IterationMs:            tl.TotalUs / 1000,
+		NonOverlappedCommMs:    tl.NonOverlappedCommUs / 1000,
+		NonOverlappedComputeMs: tl.NonOverlappedComputeUs / 1000,
+		OverlapMs:              tl.OverlapUs / 1000,
+		AllToAllMs:             tl.AllToAllUs / 1000,
+		NonOverlappedA2AMs:     tl.NonOverlappedA2AUs / 1000,
+		ExpertMs:               tl.ExpertUs / 1000,
+		CommMs:                 tl.CommBusyUs / 1000,
+		ComputeMs:              tl.ComputeBusyUs / 1000,
+		OOM:                    p.OOM,
+	}, nil
+}
+
+// MustSimulate is Simulate, panicking on error.
+func (p *Plan) MustSimulate(seed int64) *Report {
+	r, err := p.Simulate(seed)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// ChromeTrace renders one simulated iteration as Chrome trace-event JSON.
+func (p *Plan) ChromeTrace(seed int64) ([]byte, error) {
+	ex := &sim.Executor{Cost: p.costs, JitterPct: 0.02, Seed: seed}
+	tl, err := ex.Run(p.Graph, p.Graph.DefaultSchedule())
+	if err != nil {
+		return nil, err
+	}
+	return trace.Export(p.Graph, tl)
+}
+
+// irregularOverrides derives per-all-to-all actual payloads from a
+// functional routing run: micro-partition m of a k-way split carries the
+// tokens its micro-batch actually routed (paper Fig. 5c), and even
+// unpartitioned all-to-alls shed their zero padding (Fig. 10). Balanced
+// workloads are priced by payload; skewed workloads additionally price the
+// full transfer matrix on the link-level network simulator, where the hot
+// expert's device bounds completion.
+func (s *Session) irregularOverrides(g *ir.Graph) (bytesOv map[int]int64, durOv map[int]float64, err error) {
+	bytesOv = make(map[int]int64)
+	var net *netsim.Network
+	if s.WorkloadSkew > 0 {
+		durOv = make(map[int]float64)
+		net = netsim.New(s.Cluster)
+	}
+	perTokenBytes := int64(s.Config.Hidden) * s.Config.DType.Size()
+	for _, in := range g.Instrs {
+		if in.Op != ir.OpAllToAll {
+			continue
+		}
+		k := in.NumParts
+		if k < 1 {
+			k = 1
+		}
+		p, err := s.profile(k)
+		if err != nil {
+			return nil, nil, err
+		}
+		m := in.PartIdx
+		if m >= len(p.shares) {
+			m = len(p.shares) - 1
+		}
+		bytesOv[in.ID] = int64(p.shares[m] * float64(s.Built.A2ABytes))
+		if net != nil && p.devices == s.Cluster.TotalGPUs() {
+			microFrac := 0.0
+			if total := sumf(p.shares); total > 0 {
+				microFrac = p.shares[m] / total
+			}
+			scale := float64(s.Config.TokensPerGPU()) / float64(p.tokens) * microFrac
+			matrix := netsim.ScaleCounts(p.counts, perTokenBytes, scale)
+			t, err := net.AllToAllUs(matrix)
+			if err != nil {
+				return nil, nil, err
+			}
+			// Capacity caps every (source, expert) pair at C tokens, so an
+			// irregular exchange can never exceed the padded one on any
+			// link; cap at the padded cost to keep the two pricing models
+			// consistent.
+			padded := s.costRAF.ActualInstr(in)
+			if t > padded {
+				t = padded
+			}
+			sizeExchange, err := net.AllToAllUs(netsim.UniformMatrix(p.devices, int64(p.devices)*4))
+			if err != nil {
+				return nil, nil, err
+			}
+			durOv[in.ID] = t + sizeExchange
+		}
+	}
+	return bytesOv, durOv, nil
+}
+
+func sumf(xs []float64) float64 {
+	t := 0.0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// profile runs the functional gate on a scaled-down token batch (the
+// routing distribution depends on token and expert counts, not hidden
+// width) split into k micro-batches, and caches the dispatch statistics.
+func (s *Session) profile(k int) (*routingProfile, error) {
+	if p, ok := s.profiles[k]; ok {
+		return p, nil
+	}
+	devices := s.Cluster.TotalGPUs()
+	if devices > 16 && s.WorkloadSkew == 0 {
+		devices = 16 // balanced routing fractions saturate; keep the proxy cheap
+	}
+	tokens := 256
+	experts := devices * s.Config.ExpertsPerGPU
+	capacity := int(float64(tokens*s.Config.Gate.TopK()) / float64(experts) * s.Config.CapacityFactor)
+	if capacity < 1 {
+		capacity = 1
+	}
+	layer, err := moe.NewLayer(moe.Config{
+		Devices: devices, ExpertsPerDevice: s.Config.ExpertsPerGPU,
+		Capacity: capacity, Hidden: 16, FFN: 16,
+	}, 12345)
+	if err != nil {
+		return nil, err
+	}
+	var inputs []*tensor.Tensor
+	if s.WorkloadSkew > 0 {
+		inputs = moe.SkewedInputs(layer, tokens, s.WorkloadSkew, 777)
+	} else {
+		inputs = makeProxyInputs(devices, tokens, 16)
+	}
+	_, stats := layer.RouteOnly(inputs, s.gateImpl(), k)
+
+	p := &routingProfile{
+		devices: devices, tokens: tokens,
+		routed: stats.Routed, dropped: stats.Dropped,
+		counts:         stats.SendTokens,
+		hotExpertShare: stats.HottestExpertShare(),
+	}
+	padded := float64(stats.PaddedTokensPerDevice)
+	for _, row := range stats.MicroSendTokens {
+		sum := 0.0
+		for _, c := range row {
+			sum += float64(c)
+		}
+		p.shares = append(p.shares, sum/float64(len(row))/padded)
+	}
+	s.profiles[k] = p
+	return p, nil
+}
+
+// makeProxyInputs builds deterministic token batches for the routing proxy.
+func makeProxyInputs(devices, tokens, hidden int) []*tensor.Tensor {
+	rng := rand.New(rand.NewSource(777))
+	xs := make([]*tensor.Tensor, devices)
+	for d := range xs {
+		xs[d] = tensor.Randn(rng, 1, tokens, hidden)
+	}
+	return xs
+}
+
+func (s *Session) gateImpl() moe.Gate {
+	switch s.Config.Gate {
+	case model.GateTop2:
+		return moe.Top2Gate{}
+	case model.GateBatchPriority:
+		return moe.BatchPrioritizedGate{}
+	case model.GateRandom:
+		return moe.RandomGate{Seed: 99}
+	case model.GateHash:
+		return moe.HashGate{}
+	case model.GateExpertChoice:
+		return moe.ExpertChoiceGate{}
+	default:
+		return moe.SwitchGate{}
+	}
+}

@@ -1,0 +1,56 @@
+package lancet
+
+import "math"
+
+// ReportStats aggregates repeated simulations of one plan across seeds —
+// real iterations vary with network state and kernel timing, so comparisons
+// should quote a distribution, not a point.
+type ReportStats struct {
+	Runs       int
+	MeanMs     float64
+	StdMs      float64
+	MinMs      float64
+	MaxMs      float64
+	MeanReport Report // per-field means of the full breakdown
+}
+
+// SimulateN runs the plan for n seeded iterations (seeds base..base+n-1)
+// and aggregates.
+func (p *Plan) SimulateN(n int, base int64) (*ReportStats, error) {
+	if n < 1 {
+		n = 1
+	}
+	st := &ReportStats{Runs: n, MinMs: math.Inf(1), MaxMs: math.Inf(-1)}
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		r, err := p.Simulate(base + int64(i))
+		if err != nil {
+			return nil, err
+		}
+		v := r.IterationMs
+		sum += v
+		sumSq += v * v
+		if v < st.MinMs {
+			st.MinMs = v
+		}
+		if v > st.MaxMs {
+			st.MaxMs = v
+		}
+		st.MeanReport.IterationMs += r.IterationMs / float64(n)
+		st.MeanReport.NonOverlappedCommMs += r.NonOverlappedCommMs / float64(n)
+		st.MeanReport.NonOverlappedComputeMs += r.NonOverlappedComputeMs / float64(n)
+		st.MeanReport.OverlapMs += r.OverlapMs / float64(n)
+		st.MeanReport.AllToAllMs += r.AllToAllMs / float64(n)
+		st.MeanReport.NonOverlappedA2AMs += r.NonOverlappedA2AMs / float64(n)
+		st.MeanReport.ExpertMs += r.ExpertMs / float64(n)
+		st.MeanReport.CommMs += r.CommMs / float64(n)
+		st.MeanReport.ComputeMs += r.ComputeMs / float64(n)
+		st.MeanReport.OOM = r.OOM
+	}
+	st.MeanMs = sum / float64(n)
+	variance := sumSq/float64(n) - st.MeanMs*st.MeanMs
+	if variance > 0 {
+		st.StdMs = math.Sqrt(variance)
+	}
+	return st, nil
+}
