@@ -7,13 +7,21 @@
 //	lancet-bench                 # everything, full grids
 //	lancet-bench -quick          # 16-GPU grids only
 //	lancet-bench -only fig11     # one experiment
+//	lancet-bench -parallel 8     # fan the suite over 8 workers
+//	lancet-bench -json           # machine-readable results on stdout
+//	lancet-bench -list           # list registered experiments
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
+	"runtime"
 	"strings"
+	"text/tabwriter"
 	"time"
 
 	"lancet/internal/experiments"
@@ -23,32 +31,75 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("lancet-bench: ")
 	var (
-		only  = flag.String("only", "", "run a single experiment: "+strings.Join(experiments.Names, ", "))
-		quick = flag.Bool("quick", false, "shrink sweep grids (16 GPUs only)")
-		out   = flag.String("out", "results", "output directory for markdown tables")
+		only     = flag.String("only", "", "run a single experiment: "+strings.Join(experiments.Names(), ", "))
+		quick    = flag.Bool("quick", false, "shrink sweep grids (16 GPUs only)")
+		out      = flag.String("out", "results", "output directory for markdown tables")
+		parallel = flag.Int("parallel", runtime.NumCPU(), "experiment worker-pool size (1 = serial)")
+		jsonOut  = flag.Bool("json", false, "emit results as JSON on stdout instead of markdown")
+		list     = flag.Bool("list", false, "list registered experiments and exit")
 	)
 	flag.Parse()
 
+	if *list {
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		for _, e := range experiments.All() {
+			fmt.Fprintf(w, "%s\t%s\n", e.Name, e.Desc)
+		}
+		w.Flush()
+		return
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	start := time.Now()
-	var tables []*experiments.Table
+	var results []experiments.Result
 	if *only != "" {
+		t0 := time.Now()
 		t, err := experiments.Run(*only, *quick)
 		if err != nil {
 			log.Fatal(err)
 		}
-		tables = append(tables, t)
+		results = []experiments.Result{{Name: *only, Table: t, Elapsed: time.Since(t0)}}
 	} else {
-		var err error
-		tables, err = experiments.RunAll(*quick)
+		results = experiments.RunSuite(ctx, *quick, *parallel)
+	}
+
+	tables, errs := experiments.Tables(results)
+	if *jsonOut {
+		doc, err := experiments.ResultsJSON(results)
 		if err != nil {
 			log.Fatal(err)
 		}
-	}
-	for _, t := range tables {
-		fmt.Print(t.Markdown())
+		fmt.Printf("%s\n", doc)
+	} else {
+		for _, t := range tables {
+			fmt.Print(t.Markdown())
+		}
+		printTimings(results)
 	}
 	if err := experiments.WriteMarkdown(*out, tables); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("wrote %d tables to %s/ in %s\n", len(tables), *out, time.Since(start).Round(time.Millisecond))
+	if !*jsonOut {
+		fmt.Printf("wrote %d tables to %s/ in %s (%d workers)\n",
+			len(tables), *out, time.Since(start).Round(time.Millisecond), *parallel)
+	}
+	if errs != nil {
+		log.Fatal(errs)
+	}
+}
+
+// printTimings renders the per-experiment wall-clock column.
+func printTimings(results []experiments.Result) {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "experiment\tstatus\twall clock")
+	for _, r := range results {
+		status := "ok"
+		if r.Err != nil {
+			status = "FAILED"
+		}
+		fmt.Fprintf(w, "%s\t%s\t%s\n", r.Name, status, r.Elapsed.Round(time.Millisecond))
+	}
+	w.Flush()
 }

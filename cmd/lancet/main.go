@@ -4,14 +4,18 @@
 // Usage:
 //
 //	lancet -model gpt2-s -cluster V100 -gpus 16 -gate switch
+//	lancet -parallel 4 -json      # plan frameworks concurrently, JSON output
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strings"
+	"sync"
 	"text/tabwriter"
 
 	"lancet"
@@ -32,6 +36,8 @@ func main() {
 		zero3     = flag.Bool("zero3", false, "shard replicated parameters FSDP-style")
 		prio      = flag.Bool("prio", false, "run the all-to-all prioritization pass")
 		skew      = flag.Float64("skew", 0, "Zipf skew of expert popularity (0 = balanced)")
+		parallel  = flag.Int("parallel", runtime.NumCPU(), "framework planning/simulation worker-pool size")
+		jsonOut   = flag.Bool("json", false, "emit the comparison as JSON instead of a table")
 	)
 	flag.Parse()
 
@@ -39,20 +45,19 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	// Only override the model's default gate when -gate was given (the
-	// vision model defaults to Batch Prioritized Routing).
-	gateSet := false
+	// Validate the gate name unconditionally — a typo'd -gate must error
+	// even on paths that end up keeping the model's default. Only override
+	// the model's default gate when -gate was explicitly given (the vision
+	// model defaults to Batch Prioritized Routing).
+	gate, err := pickGate(*gateName)
+	if err != nil {
+		log.Fatal(err)
+	}
 	flag.Visit(func(f *flag.Flag) {
 		if f.Name == "gate" {
-			gateSet = true
+			cfg.Gate = gate
 		}
 	})
-	if gateSet {
-		cfg.Gate, err = pickGate(*gateName)
-		if err != nil {
-			log.Fatal(err)
-		}
-	}
 	cfg.SharedExpert = *shared
 	cfg.ZeRO3 = *zero3
 	cluster, err := lancet.NewCluster(*clusterT, *gpus)
@@ -65,54 +70,141 @@ func main() {
 	}
 	sess.WorkloadSkew = *skew
 
+	frameworks := []string{lancet.FrameworkDeepSpeed, lancet.FrameworkRAF, lancet.FrameworkTutel, lancet.FrameworkLancet}
+	results := make([]fwResult, len(frameworks))
+
+	// Plans of one session are independent; fan them out over a bounded
+	// pool and keep the output in framework order.
+	workers := *parallel
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > len(frameworks) {
+		workers = len(frameworks)
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i] = runFramework(sess, frameworks[i], *seed, *rho, *prio)
+			}
+		}()
+	}
+	for i := range frameworks {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	for _, r := range results {
+		if r.Err != "" {
+			log.Fatal(r.Err)
+		}
+	}
+
+	var lancetMs, bestBaseMs float64
+	for _, r := range results {
+		if r.OOM {
+			continue
+		}
+		if r.Framework == lancet.FrameworkLancet {
+			lancetMs = r.IterationMs
+		} else if bestBaseMs == 0 || r.IterationMs < bestBaseMs {
+			bestBaseMs = r.IterationMs
+		}
+	}
+	speedup := 0.0
+	if lancetMs > 0 && bestBaseMs > 0 {
+		speedup = bestBaseMs / lancetMs
+	}
+
+	if *jsonOut {
+		doc, err := json.MarshalIndent(struct {
+			Model      string     `json:"model"`
+			Cluster    string     `json:"cluster"`
+			GPUs       int        `json:"gpus"`
+			Gate       string     `json:"gate"`
+			Frameworks []fwResult `json:"frameworks"`
+			Speedup    float64    `json:"speedup_over_best_baseline,omitempty"`
+		}{sess.Config.Name, cluster.String(), *gpus, sess.Config.Gate.String(), results, speedup}, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s\n", doc)
+		return
+	}
+
 	fmt.Printf("%s on %s, %d experts, capacity %d, a2a payload %.1f MB, gate %s\n\n",
 		sess.Config.Name, cluster, sess.Built.TotalExperts, sess.Built.CapacityC,
 		float64(sess.Built.A2ABytes)/1e6, sess.Config.Gate)
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "framework\titer (ms)\tnon-ovl comm (ms)\toverlap (ms)\ta2a (ms)\tspeedup\tnotes")
-	var lancetMs, bestBaseMs float64
-	frameworks := []string{lancet.FrameworkDeepSpeed, lancet.FrameworkRAF, lancet.FrameworkTutel, lancet.FrameworkLancet}
-	rows := make([]string, 0, len(frameworks))
-	for _, fw := range frameworks {
-		var plan *lancet.Plan
-		if fw == lancet.FrameworkLancet {
-			plan, err = sess.Lancet(lancet.Options{MaxPartitions: *rho, PrioritizeAllToAll: *prio})
-		} else {
-			plan, err = sess.Baseline(fw)
-		}
-		if err != nil {
-			log.Fatal(err)
-		}
-		if plan.OOM {
-			rows = append(rows, fmt.Sprintf("%s\tOOM\t-\t-\t-\t-\t", plan.Name))
+	for _, r := range results {
+		if r.OOM {
+			fmt.Fprintf(w, "%s\tOOM\t-\t-\t-\t-\t\n", r.Name)
 			continue
 		}
-		r, err := plan.Simulate(*seed)
-		if err != nil {
-			log.Fatal(err)
-		}
-		notes := ""
-		if fw == lancet.FrameworkTutel {
-			notes = fmt.Sprintf("overlap degree %d", plan.TutelDegree)
-		}
-		if fw == lancet.FrameworkLancet {
-			lancetMs = r.IterationMs
-			notes = fmt.Sprintf("%d pipelines, dW overlap %.1f ms, optimized in %s",
-				plan.PipelineRanges, plan.DWOverlapUs/1000, plan.OptimizeTime.Round(1e6))
-		} else if bestBaseMs == 0 || r.IterationMs < bestBaseMs {
-			bestBaseMs = r.IterationMs
-		}
-		rows = append(rows, fmt.Sprintf("%s\t%.1f\t%.1f\t%.1f\t%.1f\t\t%s",
-			plan.Name, r.IterationMs, r.NonOverlappedCommMs, r.OverlapMs, r.AllToAllMs, notes))
-	}
-	for _, row := range rows {
-		fmt.Fprintln(w, row)
+		fmt.Fprintf(w, "%s\t%.1f\t%.1f\t%.1f\t%.1f\t\t%s\n",
+			r.Name, r.IterationMs, r.NonOverlappedCommMs, r.OverlapMs, r.AllToAllMs, r.Notes)
 	}
 	w.Flush()
-	if lancetMs > 0 && bestBaseMs > 0 {
-		fmt.Printf("\nLancet speedup over best baseline: %.2fx\n", bestBaseMs/lancetMs)
+	if speedup > 0 {
+		fmt.Printf("\nLancet speedup over best baseline: %.2fx\n", speedup)
 	}
+}
+
+// fwResult is one framework's planned-and-simulated outcome.
+type fwResult struct {
+	Framework           string  `json:"framework"`
+	Name                string  `json:"name"`
+	OOM                 bool    `json:"oom,omitempty"`
+	IterationMs         float64 `json:"iteration_ms,omitempty"`
+	NonOverlappedCommMs float64 `json:"non_overlapped_comm_ms,omitempty"`
+	OverlapMs           float64 `json:"overlap_ms,omitempty"`
+	AllToAllMs          float64 `json:"a2a_ms,omitempty"`
+	Notes               string  `json:"notes,omitempty"`
+	Err                 string  `json:"error,omitempty"`
+}
+
+func runFramework(sess *lancet.Session, fw string, seed int64, rho int, prio bool) fwResult {
+	res := fwResult{Framework: fw}
+	var plan *lancet.Plan
+	var err error
+	if fw == lancet.FrameworkLancet {
+		plan, err = sess.Lancet(lancet.Options{MaxPartitions: rho, PrioritizeAllToAll: prio})
+	} else {
+		plan, err = sess.Baseline(fw)
+	}
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	res.Name = plan.Name
+	if plan.OOM {
+		res.OOM = true
+		return res
+	}
+	r, err := plan.Simulate(seed)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	res.IterationMs = r.IterationMs
+	res.NonOverlappedCommMs = r.NonOverlappedCommMs
+	res.OverlapMs = r.OverlapMs
+	res.AllToAllMs = r.AllToAllMs
+	switch fw {
+	case lancet.FrameworkTutel:
+		res.Notes = fmt.Sprintf("overlap degree %d", plan.TutelDegree)
+	case lancet.FrameworkLancet:
+		res.Notes = fmt.Sprintf("%d pipelines, dW overlap %.1f ms, optimized in %s",
+			plan.PipelineRanges, plan.DWOverlapUs/1000, plan.OptimizeTime.Round(1e6))
+	}
+	return res
 }
 
 func pickModel(name string, batch int) (lancet.ModelConfig, error) {

@@ -1,0 +1,65 @@
+package lancet_test
+
+import (
+	"sync"
+	"testing"
+
+	"lancet"
+)
+
+// TestConcurrentPlansShareSession is the regression test for the parallel
+// CLI path: all frameworks plan and simulate against one Session — and so
+// share its built graph and routing-profile cache — concurrently. Results
+// must match a serial run exactly (and the lazy graph-adjacency build must
+// not race; run with -race).
+func TestConcurrentPlansShareSession(t *testing.T) {
+	frameworks := []string{
+		lancet.FrameworkDeepSpeed, lancet.FrameworkRAF,
+		lancet.FrameworkTutel, lancet.FrameworkLancet,
+	}
+	plan := func(sess *lancet.Session, fw string) float64 {
+		t.Helper()
+		var p *lancet.Plan
+		var err error
+		if fw == lancet.FrameworkLancet {
+			p, err = sess.Lancet(lancet.Options{})
+		} else {
+			p, err = sess.Baseline(fw)
+		}
+		if err != nil {
+			t.Errorf("%s: %v", fw, err)
+			return 0
+		}
+		return p.MustSimulate(1).IterationMs
+	}
+
+	serialSess, err := lancet.NewSession(lancet.GPT2SMoE(0), lancet.MustCluster("V100", 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := make([]float64, len(frameworks))
+	for i, fw := range frameworks {
+		serial[i] = plan(serialSess, fw)
+	}
+
+	parSess, err := lancet.NewSession(lancet.GPT2SMoE(0), lancet.MustCluster("V100", 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]float64, len(frameworks))
+	var wg sync.WaitGroup
+	for i, fw := range frameworks {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got[i] = plan(parSess, fw)
+		}()
+	}
+	wg.Wait()
+
+	for i, fw := range frameworks {
+		if got[i] != serial[i] {
+			t.Errorf("%s: concurrent iteration %.4f ms != serial %.4f ms", fw, got[i], serial[i])
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module lancet
+
+go 1.24

@@ -24,24 +24,57 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"lancet/internal/hw"
 	"lancet/internal/ir"
 )
 
+// cacheShards stripes the memoization maps so concurrent predictions from
+// parallel experiments or passes rarely contend on the same lock.
+const cacheShards = 32
+
+// shard is one lock-striped slice of a memoization map.
+type shard[K comparable] struct {
+	mu sync.Mutex
+	m  map[K]float64
+}
+
+func (s *shard[K]) get(k K) (float64, bool) {
+	s.mu.Lock()
+	v, ok := s.m[k]
+	s.mu.Unlock()
+	return v, ok
+}
+
+func (s *shard[K]) put(k K, v float64) {
+	s.mu.Lock()
+	if s.m == nil {
+		s.m = make(map[K]float64)
+	}
+	s.m[k] = v
+	s.mu.Unlock()
+}
+
 // Model prices instructions on a given cluster. It is safe for concurrent
-// use.
+// use: both memoization layers (op profiles and communication predictions)
+// are mutex-striped, so parallel experiments sharing a model shape scale
+// across cores.
 type Model struct {
 	Cluster hw.Cluster
 
 	// ComputeScale scales compute throughput to model framework codegen
 	// differences (e.g. PyTorch kernels vs RAF compiler output). 1.0 is
-	// the RAF/Lancet baseline; <1 is slower.
+	// the RAF/Lancet baseline; <1 is slower. Set it before the first
+	// prediction — cached entries are not invalidated.
 	ComputeScale float64
 
-	mu       sync.Mutex
-	cache    map[profileKey]float64
-	profiled int // number of ground-truth profiles taken (cache misses)
+	profiles [cacheShards]shard[profileKey]
+	comms    [cacheShards]shard[commKey]
+
+	profiled atomic.Int64 // ground-truth profiles taken (profile-cache misses)
+	hits     atomic.Int64 // memoized predictions served (both caches)
+	misses   atomic.Int64 // predictions computed fresh (both caches)
 
 	a2aTable       []commPoint // per-device bytes -> us, fixed device count
 	allreduceTable []commPoint
@@ -56,6 +89,33 @@ type profileKey struct {
 	bytes    int64
 	devices  int
 	numParts int
+}
+
+// commKey memoizes communication predictions on exact byte counts — unlike
+// compute profiles there is no bucketing, so cached values are bit-identical
+// to the interpolation they replace.
+type commKey struct {
+	op      ir.OpKind
+	bytes   int64
+	devices int
+}
+
+// fnvMix folds int64 fields into an FNV-1a hash for shard selection.
+func fnvMix(vs ...int64) uint64 {
+	h := uint64(14695981039346656037)
+	for _, v := range vs {
+		h ^= uint64(v)
+		h *= 1099511628211
+	}
+	return h
+}
+
+func (k profileKey) shard() uint64 {
+	return fnvMix(int64(k.op), int64(k.grad), k.flops, k.bytes, int64(k.devices), int64(k.numParts)) % cacheShards
+}
+
+func (k commKey) shard() uint64 {
+	return fnvMix(int64(k.op), k.bytes, int64(k.devices)) % cacheShards
 }
 
 type commPoint struct {
@@ -73,7 +133,6 @@ func NewModel(c hw.Cluster) *Model {
 	m := &Model{
 		Cluster:      c,
 		ComputeScale: 1.0,
-		cache:        make(map[profileKey]float64),
 	}
 	m.buildCommTables(c.TotalGPUs())
 	return m
@@ -93,9 +152,32 @@ func (m *Model) buildCommTables(devices int) {
 
 // ProfiledOps returns how many distinct op shapes have been profiled so far.
 func (m *Model) ProfiledOps() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.profiled
+	return int(m.profiled.Load())
+}
+
+// CacheStats reports the memoization layer's effectiveness across both the
+// op-profile and communication caches.
+type CacheStats struct {
+	Hits        int64
+	Misses      int64
+	ProfiledOps int64
+}
+
+// HitRate is the fraction of predictions served from cache.
+func (s CacheStats) HitRate() float64 {
+	if total := s.Hits + s.Misses; total > 0 {
+		return float64(s.Hits) / float64(total)
+	}
+	return 0
+}
+
+// Stats snapshots the cache counters.
+func (m *Model) Stats() CacheStats {
+	return CacheStats{
+		Hits:        m.hits.Load(),
+		Misses:      m.misses.Load(),
+		ProfiledOps: m.profiled.Load(),
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -248,43 +330,63 @@ func (m *Model) PredictInstr(in *ir.Instr) float64 {
 		flops: bucket(int64(in.FLOPs)), bytes: bucket(in.Bytes),
 		devices: in.CommDevices, numParts: in.NumParts,
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if t, ok := m.cache[key]; ok {
+	s := &m.profiles[key.shard()]
+	if t, ok := s.get(key); ok {
+		m.hits.Add(1)
 		return t
 	}
 	// A single profiling measurement of the ground truth. Real profiling
 	// observes one noisy sample; we reproduce that with a deterministic
-	// per-shape perturbation of up to +-1.5%.
+	// per-shape perturbation of up to +-1.5%. Concurrent first predictions
+	// of the same shape compute the same deterministic value, so a racing
+	// double-put is harmless.
 	t := m.GroundComputeUs(in) * (1 + measurementNoise(key))
-	m.cache[key] = t
-	m.profiled++
+	s.put(key, t)
+	m.misses.Add(1)
+	m.profiled.Add(1)
 	return t
 }
 
 // PredictComm estimates a collective's time via linear interpolation over
-// the profiled table, mirroring the paper's comm cost model.
+// the profiled table, mirroring the paper's comm cost model. Predictions
+// are memoized on the exact (op, bytes, devices) triple: the partition
+// pass's DP sweeps re-query identical payloads millions of times, and the
+// cached value is bit-identical to the interpolation it replaces.
 func (m *Model) PredictComm(op ir.OpKind, bytes int64, devices int) float64 {
 	if devices == 0 {
 		devices = m.tableDevices
 	}
-	if devices != m.tableDevices {
-		// Tables are profiled for the cluster's full device count; other
-		// group sizes fall back to ground truth (rare in our workloads).
-		return m.groundCommUs(op, bytes, devices)
-	}
-	var table []commPoint
 	switch op {
-	case ir.OpAllToAll:
-		table = m.a2aTable
-	case ir.OpAllReduce:
-		table = m.allreduceTable
-	case ir.OpAllGather, ir.OpReduceScatter:
-		table = m.allgatherTable
+	case ir.OpAllToAll, ir.OpAllReduce, ir.OpAllGather, ir.OpReduceScatter:
 	default:
 		panic(fmt.Sprintf("cost: not a communication op: %v", op))
 	}
-	return interpolate(table, bytes)
+	key := commKey{op: op, bytes: bytes, devices: devices}
+	s := &m.comms[key.shard()]
+	if t, ok := s.get(key); ok {
+		m.hits.Add(1)
+		return t
+	}
+	var t float64
+	if devices != m.tableDevices {
+		// Tables are profiled for the cluster's full device count; other
+		// group sizes fall back to ground truth (rare in our workloads).
+		t = m.groundCommUs(op, bytes, devices)
+	} else {
+		var table []commPoint
+		switch op {
+		case ir.OpAllToAll:
+			table = m.a2aTable
+		case ir.OpAllReduce:
+			table = m.allreduceTable
+		case ir.OpAllGather, ir.OpReduceScatter:
+			table = m.allgatherTable
+		}
+		t = interpolate(table, bytes)
+	}
+	s.put(key, t)
+	m.misses.Add(1)
+	return t
 }
 
 // PredictA2APartitioned applies the paper's static-shape approximation: the
@@ -379,10 +481,6 @@ func bucket(v int64) int64 {
 // measurementNoise derives a deterministic pseudo-random perturbation in
 // [-0.015, 0.015] from the profile key.
 func measurementNoise(k profileKey) float64 {
-	h := uint64(14695981039346656037)
-	for _, v := range []int64{int64(k.op), int64(k.grad), k.flops, k.bytes, int64(k.devices), int64(k.numParts)} {
-		h ^= uint64(v)
-		h *= 1099511628211
-	}
+	h := fnvMix(int64(k.op), int64(k.grad), k.flops, k.bytes, int64(k.devices), int64(k.numParts))
 	return (float64(h%2001)/1000.0 - 1.0) * 0.015
 }

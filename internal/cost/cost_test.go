@@ -136,6 +136,66 @@ func TestProfileCacheReuse(t *testing.T) {
 	}
 }
 
+func TestCacheStatsCounters(t *testing.T) {
+	m := newTestModel()
+	g := m.Cluster.TotalGPUs()
+	base := m.Stats()
+	if base.Hits != 0 || base.Misses != 0 {
+		t.Fatalf("fresh model should start with zero counters, got %+v", base)
+	}
+
+	// First communication prediction misses, the identical repeat hits and
+	// returns the bit-identical memoized value.
+	t1 := m.PredictComm(ir.OpAllToAll, 5<<20, g)
+	afterMiss := m.Stats()
+	if afterMiss.Misses != 1 || afterMiss.Hits != 0 {
+		t.Errorf("first comm prediction: want 1 miss / 0 hits, got %+v", afterMiss)
+	}
+	t2 := m.PredictComm(ir.OpAllToAll, 5<<20, g)
+	afterHit := m.Stats()
+	if afterHit.Misses != 1 || afterHit.Hits != 1 {
+		t.Errorf("repeat comm prediction: want 1 miss / 1 hit, got %+v", afterHit)
+	}
+	if t1 != t2 {
+		t.Errorf("memoized comm prediction changed: %v vs %v", t1, t2)
+	}
+
+	// Compute profiles share the counters and bump ProfiledOps on miss only.
+	in := mm(3e9)
+	m.PredictInstr(in)
+	m.PredictInstr(in)
+	s := m.Stats()
+	if s.ProfiledOps != 1 {
+		t.Errorf("one distinct shape profiled, got %d", s.ProfiledOps)
+	}
+	if s.Misses != 2 || s.Hits != 2 {
+		t.Errorf("want 2 misses / 2 hits total, got %+v", s)
+	}
+	if hr := s.HitRate(); hr != 0.5 {
+		t.Errorf("hit rate %v, want 0.5", hr)
+	}
+	if (CacheStats{}).HitRate() != 0 {
+		t.Error("empty stats hit rate should be 0")
+	}
+}
+
+func TestPredictCommDistinctDeviceCountsCached(t *testing.T) {
+	m := newTestModel()
+	g := m.Cluster.TotalGPUs()
+	// Off-table device counts fall back to ground truth but still memoize.
+	odd := m.PredictComm(ir.OpAllToAll, 1<<20, g+2)
+	if odd != m.groundCommUs(ir.OpAllToAll, 1<<20, g+2) {
+		t.Error("off-table group size should price at ground truth")
+	}
+	before := m.Stats()
+	if again := m.PredictComm(ir.OpAllToAll, 1<<20, g+2); again != odd {
+		t.Errorf("memoized fallback changed: %v vs %v", again, odd)
+	}
+	if after := m.Stats(); after.Hits != before.Hits+1 {
+		t.Error("repeat off-table prediction should hit the cache")
+	}
+}
+
 func TestPredictionNearGroundTruth(t *testing.T) {
 	m := newTestModel()
 	in := mm(5e9)

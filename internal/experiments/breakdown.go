@@ -12,6 +12,19 @@ import (
 	"lancet/internal/sim"
 )
 
+func init() {
+	Register(Experiment{
+		Name: "fig2", Order: 10,
+		Desc: "execution-time breakdown of the unoptimized iteration with the Curr./Opt. overlap bounds",
+		Run:  func(Params) (*Table, error) { return Fig2Breakdown() },
+	})
+	Register(Experiment{
+		Name: "fig13", Order: 50,
+		Desc: "iteration decomposition: non-overlapped comm, overlap and compute per framework",
+		Run:  func(Params) (*Table, error) { return Fig13Decomposition() },
+	})
+}
+
 // Fig2Breakdown reproduces Fig. 2: execution-time breakdown of the
 // unoptimized iteration under Tutel and DeepSpeed kernels on 16 and 32 V100
 // GPUs, with the two bounds the paper motivates from it — Curr., the best

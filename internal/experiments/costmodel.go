@@ -7,6 +7,19 @@ import (
 	"lancet"
 )
 
+func init() {
+	Register(Experiment{
+		Name: "fig14", Order: 60,
+		Desc: "cost-model accuracy: predicted vs simulated-actual iteration time",
+		Run:  func(p Params) (*Table, error) { return Fig14CostModel(p.GPUCounts) },
+	})
+	Register(Experiment{
+		Name: "fig15", Order: 70,
+		Desc: "optimization time and DP evaluation counts across models and GPU counts",
+		Run:  func(p Params) (*Table, error) { return Fig15OptimizationTime(p.GPUCounts) },
+	})
+}
+
 // Fig14CostModel reproduces Fig. 14: Lancet's cost-model prediction versus
 // the (simulated) actual iteration time across the benchmarked
 // configurations. The paper reports a 3.83% average percentile error; the
@@ -69,7 +82,8 @@ func Fig15OptimizationTime(gpuCounts []int) (*Table, error) {
 			"shares one computation graph, so time scales with layer count, not GPUs. " +
 			"Absolute times are not comparable to the paper's (its cost evaluations " +
 			"profile real kernels; ours query an analytic model).",
-		Header: []string{"Cluster", "Model", "GPUs", "Optimization time (ms)", "P(i,n,k) evaluations"},
+		Header:        []string{"Cluster", "Model", "GPUs", "Optimization time (ms)", "P(i,n,k) evaluations"},
+		WallClockCols: []int{3},
 	}
 	for _, gpu := range []string{"V100", "A100"} {
 		for _, mk := range []func(int) lancet.ModelConfig{lancet.GPT2SMoE, lancet.GPT2LMoE} {

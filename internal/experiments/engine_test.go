@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// withTempExperiment registers an experiment for one test and removes it on
+// cleanup so the canonical suite stays intact for other tests.
+func withTempExperiment(t *testing.T, e Experiment) {
+	t.Helper()
+	Register(e)
+	t.Cleanup(func() { delete(registry, e.Name) })
+}
+
+// canonicalNames is the paper-ordered suite the registry must reconstruct
+// from the per-file registration stanzas.
+var canonicalNames = []string{
+	"fig2", "fig6", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+	"equiv", "a2a-padding", "shared-expert", "comm-priority", "skew", "imbalance", "fsdp", "fastermoe",
+}
+
+func TestRegistryHoldsFullSuiteInOrder(t *testing.T) {
+	got := Names()
+	if len(got) != len(canonicalNames) {
+		t.Fatalf("registered %d experiments, want %d: %v", len(got), len(canonicalNames), got)
+	}
+	for i, want := range canonicalNames {
+		if got[i] != want {
+			t.Errorf("suite position %d: got %q, want %q", i, got[i], want)
+		}
+	}
+}
+
+func TestUnknownNameErrorListsAllExperiments(t *testing.T) {
+	_, err := Run("fig99", true)
+	if err == nil {
+		t.Fatal("unknown experiment must error")
+	}
+	for _, name := range Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not mention registered experiment %q", err, name)
+		}
+	}
+}
+
+func TestRegisterRejectsDuplicatesAndEmpty(t *testing.T) {
+	mustPanic := func(name string, e Experiment) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: Register should panic", name)
+			}
+		}()
+		Register(e)
+	}
+	mustPanic("duplicate", Experiment{Name: "fig2", Run: func(Params) (*Table, error) { return nil, nil }})
+	mustPanic("empty name", Experiment{Run: func(Params) (*Table, error) { return nil, nil }})
+	mustPanic("nil run", Experiment{Name: "no-run"})
+}
+
+// TestParallelMatchesSerial is the engine's determinism guarantee: fanning
+// the suite over a worker pool must produce byte-identical tables to a
+// serial run (run under -race this also exercises the cost model's and
+// session's concurrency safety).
+func TestParallelMatchesSerial(t *testing.T) {
+	ctx := context.Background()
+	serial := RunSuite(ctx, true, 1)
+	parallel := RunSuite(ctx, true, 8)
+	if len(serial) != len(parallel) {
+		t.Fatalf("result counts differ: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		s, p := serial[i], parallel[i]
+		if s.Name != p.Name {
+			t.Fatalf("order diverged at %d: %q vs %q", i, s.Name, p.Name)
+		}
+		if (s.Err == nil) != (p.Err == nil) {
+			t.Fatalf("%s: error mismatch: %v vs %v", s.Name, s.Err, p.Err)
+		}
+		if s.Err != nil {
+			continue
+		}
+		if sm, pm := maskWallClock(s.Table).Markdown(), maskWallClock(p.Table).Markdown(); sm != pm {
+			t.Errorf("%s: parallel table differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", s.Name, sm, pm)
+		}
+	}
+}
+
+// maskWallClock blanks host wall-clock columns (e.g. fig15's optimization
+// time), which legitimately vary run to run; every other cell must be
+// byte-identical between serial and parallel suites.
+func maskWallClock(t *Table) *Table {
+	if len(t.WallClockCols) == 0 {
+		return t
+	}
+	masked := *t
+	masked.Rows = make([][]string, len(t.Rows))
+	for i, row := range t.Rows {
+		r := append([]string(nil), row...)
+		for _, c := range t.WallClockCols {
+			if c < len(r) {
+				r[c] = "-"
+			}
+		}
+		masked.Rows[i] = r
+	}
+	return &masked
+}
+
+func TestRunSuiteCollectsAllErrors(t *testing.T) {
+	boom1 := errors.New("boom one")
+	boom2 := errors.New("boom two")
+	withTempExperiment(t, Experiment{
+		Name: "test-fail-1", Order: 1000,
+		Run: func(Params) (*Table, error) { return nil, boom1 },
+	})
+	withTempExperiment(t, Experiment{
+		Name: "test-fail-2", Order: 1001,
+		Run: func(Params) (*Table, error) { return nil, boom2 },
+	})
+	withTempExperiment(t, Experiment{
+		Name: "test-ok", Order: 1002,
+		Run: func(Params) (*Table, error) {
+			return &Table{ID: "test-ok", Title: "ok", Header: []string{"a"}}, nil
+		},
+	})
+	// RunAll is the serial library entry point: it must run everything,
+	// returning the surviving tables alongside the joined failures.
+	tables, err := RunAll(true)
+	if err == nil {
+		t.Fatal("aggregated error expected")
+	}
+	if !errors.Is(err, boom1) || !errors.Is(err, boom2) {
+		t.Errorf("aggregate error %v should wrap both failures", err)
+	}
+	// One failure must not hide the suite: every real experiment plus the
+	// passing temp one still produced its table.
+	if want := len(canonicalNames) + 1; len(tables) != want {
+		t.Errorf("got %d tables, want %d despite failures", len(tables), want)
+	}
+}
+
+func TestRunSuiteHonorsCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results := RunSuite(ctx, true, 4)
+	for _, r := range results {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Errorf("%s: want context.Canceled, got %v", r.Name, r.Err)
+		}
+	}
+}
+
+func benchSuite(b *testing.B, workers int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		for _, r := range RunSuite(context.Background(), true, workers) {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+}
+
+// BenchmarkRunSuiteSerial vs BenchmarkRunSuiteParallel quantifies the
+// worker-pool fan-out. The suite is CPU-bound, so the parallel variant's
+// wall clock approaches serial/NumCPU on multicore hardware (and parity on
+// one core).
+func BenchmarkRunSuiteSerial(b *testing.B)   { benchSuite(b, 1) }
+func BenchmarkRunSuiteParallel(b *testing.B) { benchSuite(b, 0) }
+
+func TestResultsJSONRoundTrips(t *testing.T) {
+	tb := &Table{ID: "demo", Title: "Demo", Header: []string{"a"}, Rows: [][]string{{"1"}}}
+	doc, err := ResultsJSON([]Result{
+		{Name: "demo", Table: tb, Elapsed: 1500 * time.Microsecond},
+		{Name: "bad", Err: errors.New("exploded")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"name": "demo"`, `"elapsed_ms": 1.5`, `"rows"`, `"error": "exploded"`} {
+		if !strings.Contains(string(doc), want) {
+			t.Errorf("JSON missing %s:\n%s", want, doc)
+		}
+	}
+}

@@ -8,6 +8,19 @@ import (
 	"lancet/internal/tensor"
 )
 
+func init() {
+	Register(Experiment{
+		Name: "equiv", Order: 90,
+		Desc: "routing equivalence of micro-batched gating with capacity passing (Sec. 2.3)",
+		Run:  func(Params) (*Table, error) { return EquivalenceCheck() },
+	})
+	Register(Experiment{
+		Name: "a2a-padding", Order: 100,
+		Desc: "padded vs irregular all-to-all payload savings (Fig. 10 motivation)",
+		Run:  func(Params) (*Table, error) { return PaddingSavings() },
+	})
+}
+
 // EquivalenceCheck backs the mathematical-equivalence claims of Sec. 2.3
 // (Challenge 1): for partial-batch-safe gates, micro-batched gating with
 // capacity passing reproduces unpartitioned routing bit-exactly; for Batch

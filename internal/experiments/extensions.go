@@ -6,6 +6,29 @@ import (
 	"lancet"
 )
 
+func init() {
+	Register(Experiment{
+		Name: "shared-expert", Order: 110,
+		Desc: "shared-expert MoE: natural dispatch overlap before and after Lancet's passes (Sec. 8)",
+		Run:  func(Params) (*Table, error) { return SharedExpertOverlap() },
+	})
+	Register(Experiment{
+		Name: "comm-priority", Order: 120,
+		Desc: "Lina-style all-to-all prioritization over gradient all-reduces (Sec. 8)",
+		Run:  func(Params) (*Table, error) { return CommPriority() },
+	})
+	Register(Experiment{
+		Name: "fsdp", Order: 150,
+		Desc: "ZeRO-3 parameter-sharding interference with the all-to-all streams",
+		Run:  func(Params) (*Table, error) { return FSDPInterference() },
+	})
+	Register(Experiment{
+		Name: "fastermoe", Order: 160,
+		Desc: "FasterMoE-style expert shadowing vs Lancet under skewed routing (Sec. 8)",
+		Run:  func(Params) (*Table, error) { return ShadowingComparison() },
+	})
+}
+
 // SharedExpertOverlap quantifies the Sec. 8 discussion ("MoE architectures
 // that facilitate overlapping"): a PR-MoE / DeepSeekMoE-style shared expert
 // is independent of the all-to-all, so its computation hides dispatch

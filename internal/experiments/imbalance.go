@@ -6,6 +6,14 @@ import (
 	"lancet"
 )
 
+func init() {
+	Register(Experiment{
+		Name: "imbalance", Order: 140,
+		Desc: "end-to-end skewed expert popularity on the link-level network simulator",
+		Run:  func(Params) (*Table, error) { return Imbalance() },
+	})
+}
+
 // Imbalance studies skewed expert popularity end to end on the link-level
 // network simulator: padded baselines are insensitive to skew (they always
 // ship the full buffer), while Lancet's irregular all-to-all loses part of

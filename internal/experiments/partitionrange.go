@@ -11,6 +11,14 @@ import (
 	"lancet/internal/passes/partition"
 )
 
+func init() {
+	Register(Experiment{
+		Name: "fig6", Order: 20,
+		Desc: "partition-range sweep with the DP pick: the U-shape motivating range selection",
+		Run:  func(Params) (*Table, error) { return Fig6PartitionRange() },
+	})
+}
+
 // Fig6PartitionRange reproduces Fig. 6: normalized forward time as the
 // partition range around each MoE layer grows, for the paper's two
 // configurations on 16 A100 GPUs (32 experts). "Orig" is unpartitioned;

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Params carries the knobs the engine hands an experiment run. Quick mode
+// shrinks sweep grids for fast regression runs (benchmarks, CI); GPUCounts
+// is the grid the sweeping experiments iterate over.
+type Params struct {
+	Quick     bool
+	GPUCounts []int
+}
+
+// DefaultCounts returns the GPU-count grid for the given mode: the paper's
+// full 16/32/64 sweep, or 16 only in quick mode.
+func DefaultCounts(quick bool) []int {
+	if quick {
+		return []int{16}
+	}
+	return []int{16, 32, 64}
+}
+
+// Experiment is one registered table/figure regeneration. Experiments
+// self-register from init functions in their defining files; the engine
+// (suite.go) discovers them through the registry instead of a hardcoded
+// dispatcher.
+type Experiment struct {
+	// Name is the identifier accepted by Run and the -only flag, e.g.
+	// "fig11".
+	Name string
+	// Desc is a one-line description shown in CLI listings.
+	Desc string
+	// Order fixes the suite position (paper figure order); RunAll output is
+	// sorted by it regardless of file-init sequence.
+	Order int
+	// Run produces the table.
+	Run func(Params) (*Table, error)
+}
+
+var registry = make(map[string]Experiment)
+
+// Register adds an experiment to the suite. It panics on empty or duplicate
+// names — both are programming errors caught at init time.
+func Register(e Experiment) {
+	if e.Name == "" || e.Run == nil {
+		panic("experiments: Register needs a name and a run function")
+	}
+	if _, dup := registry[e.Name]; dup {
+		panic(fmt.Sprintf("experiments: duplicate registration of %q", e.Name))
+	}
+	registry[e.Name] = e
+}
+
+// Lookup finds a registered experiment by name.
+func Lookup(name string) (Experiment, bool) {
+	e, ok := registry[name]
+	return e, ok
+}
+
+// All returns every registered experiment in suite order.
+func All() []Experiment {
+	es := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		es = append(es, e)
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].Order != es[j].Order {
+			return es[i].Order < es[j].Order
+		}
+		return es[i].Name < es[j].Name
+	})
+	return es
+}
+
+// Names returns the registered experiment names in suite order.
+func Names() []string {
+	es := All()
+	names := make([]string, len(es))
+	for i, e := range es {
+		names[i] = e.Name
+	}
+	return names
+}

@@ -6,6 +6,14 @@ import (
 	"lancet/internal/moe"
 )
 
+func init() {
+	Register(Experiment{
+		Name: "skew", Order: 130,
+		Desc: "routing statistics under Zipf-skewed token-to-expert affinity",
+		Run:  func(Params) (*Table, error) { return LoadSkew() },
+	})
+}
+
 // LoadSkew studies routing under imbalanced (Zipf-skewed) token-to-expert
 // affinity: the dynamic workloads that motivate FasterMoE's shadowing and
 // Tutel's adaptive parallelism (paper Sec. 8). With skew, capacity overflow

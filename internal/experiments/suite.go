@@ -1,74 +1,110 @@
 package experiments
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"sync"
+	"time"
 )
 
-// Experiment names accepted by Run. The fig* entries regenerate the
-// paper's figures; the rest back Sec. 2.3 claims and Sec. 8 extensions.
-var Names = []string{
-	"fig2", "fig6", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
-	"equiv", "a2a-padding", "shared-expert", "comm-priority", "skew", "imbalance", "fsdp", "fastermoe",
-}
-
-// Run executes one experiment by name. Quick mode shrinks sweep grids for
-// fast regression runs (benchmarks, CI).
+// Run executes one experiment by name.
 func Run(name string, quick bool) (*Table, error) {
-	counts := []int{16, 32, 64}
-	if quick {
-		counts = []int{16}
+	e, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %s)", name, strings.Join(Names(), ", "))
 	}
-	switch name {
-	case "fig2":
-		return Fig2Breakdown()
-	case "fig6":
-		return Fig6PartitionRange()
-	case "fig11":
-		return Fig11ThroughputSwitch(counts)
-	case "fig12":
-		return Fig12ThroughputBPR(counts)
-	case "fig13":
-		return Fig13Decomposition()
-	case "fig14":
-		return Fig14CostModel(counts)
-	case "fig15":
-		return Fig15OptimizationTime(counts)
-	case "fig16":
-		return Fig16Ablation()
-	case "equiv":
-		return EquivalenceCheck()
-	case "a2a-padding":
-		return PaddingSavings()
-	case "shared-expert":
-		return SharedExpertOverlap()
-	case "comm-priority":
-		return CommPriority()
-	case "skew":
-		return LoadSkew()
-	case "imbalance":
-		return Imbalance()
-	case "fsdp":
-		return FSDPInterference()
-	case "fastermoe":
-		return ShadowingComparison()
-	}
-	return nil, fmt.Errorf("experiments: unknown experiment %q (have %s)", name, strings.Join(Names, ", "))
+	return e.Run(Params{Quick: quick, GPUCounts: DefaultCounts(quick)})
 }
 
-// RunAll executes every experiment.
-func RunAll(quick bool) ([]*Table, error) {
-	var tables []*Table
-	for _, n := range Names {
-		t, err := Run(n, quick)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %s: %w", n, err)
-		}
-		tables = append(tables, t)
+// Result is the outcome of one experiment in a suite run.
+type Result struct {
+	Name    string
+	Table   *Table // nil when Err is set
+	Err     error
+	Elapsed time.Duration
+}
+
+// RunSuite executes every registered experiment over a bounded worker pool
+// of the given size (<= 0 selects runtime.NumCPU()). Results come back in
+// suite order regardless of completion order, each carrying its own error
+// and wall-clock time; a failing experiment never hides the others.
+// Cancelling the context stops dispatching further experiments — already
+// running ones finish, undispatched ones report the context error.
+func RunSuite(ctx context.Context, quick bool, workers int) []Result {
+	exps := All()
+	results := make([]Result, len(exps))
+	if workers <= 0 {
+		workers = runtime.NumCPU()
 	}
-	return tables, nil
+	if workers > len(exps) {
+		workers = len(exps)
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				e := exps[i]
+				start := time.Now()
+				t, err := e.Run(Params{Quick: quick, GPUCounts: DefaultCounts(quick)})
+				if err != nil {
+					err = fmt.Errorf("experiments: %s: %w", e.Name, err)
+				}
+				results[i] = Result{Name: e.Name, Table: t, Err: err, Elapsed: time.Since(start)}
+			}
+		}()
+	}
+dispatch:
+	for i := range exps {
+		if ctx.Err() != nil {
+			for j := i; j < len(exps); j++ {
+				results[j] = Result{Name: exps[j].Name, Err: ctx.Err()}
+			}
+			break
+		}
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			for j := i; j < len(exps); j++ {
+				results[j] = Result{Name: exps[j].Name, Err: ctx.Err()}
+			}
+			break dispatch
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	return results
+}
+
+// RunAll executes every experiment serially and returns their tables in
+// suite order. All experiments run even if some fail; the returned error
+// aggregates every failure (errors.Join) alongside the tables that did
+// succeed.
+func RunAll(quick bool) ([]*Table, error) {
+	return Tables(RunSuite(context.Background(), quick, 1))
+}
+
+// Tables extracts the successful tables from suite results, joining the
+// failures into one aggregate error.
+func Tables(results []Result) ([]*Table, error) {
+	var tables []*Table
+	var errs []error
+	for _, r := range results {
+		if r.Err != nil {
+			errs = append(errs, r.Err)
+			continue
+		}
+		tables = append(tables, r.Table)
+	}
+	return tables, errors.Join(errs...)
 }
 
 // WriteMarkdown writes each table to dir/<id>.md and a combined
@@ -87,4 +123,29 @@ func WriteMarkdown(dir string, tables []*Table) error {
 		}
 	}
 	return os.WriteFile(filepath.Join(dir, "all_results.md"), []byte(all.String()), 0o644)
+}
+
+// resultJSON is the serialized form of one suite Result.
+type resultJSON struct {
+	Name      string  `json:"name"`
+	ElapsedMs float64 `json:"elapsed_ms"`
+	Error     string  `json:"error,omitempty"`
+	Table     *Table  `json:"table,omitempty"`
+}
+
+// ResultsJSON renders suite results — tables, per-experiment timings and
+// errors — as an indented JSON document.
+func ResultsJSON(results []Result) ([]byte, error) {
+	out := make([]resultJSON, len(results))
+	for i, r := range results {
+		out[i] = resultJSON{
+			Name:      r.Name,
+			ElapsedMs: float64(r.Elapsed.Microseconds()) / 1000,
+			Table:     r.Table,
+		}
+		if r.Err != nil {
+			out[i].Error = r.Err.Error()
+		}
+	}
+	return json.MarshalIndent(out, "", "  ")
 }

@@ -14,13 +14,18 @@ import (
 	"strings"
 )
 
-// Table is one regenerated figure/table.
+// Table is one regenerated figure/table. The JSON form backs the CLIs'
+// -json output.
 type Table struct {
-	ID     string // e.g. "fig11"
-	Title  string
-	Note   string
-	Header []string
-	Rows   [][]string
+	ID     string     `json:"id"` // e.g. "fig11"
+	Title  string     `json:"title"`
+	Note   string     `json:"note,omitempty"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	// WallClockCols indexes columns holding host wall-clock measurements
+	// (e.g. fig15's optimization time). Everything else is a deterministic
+	// function of the simulated substrate; determinism checks mask these.
+	WallClockCols []int `json:"wall_clock_cols,omitempty"`
 }
 
 // AddRow appends a formatted row.

@@ -6,6 +6,24 @@ import (
 	"lancet"
 )
 
+func init() {
+	Register(Experiment{
+		Name: "fig11", Order: 30,
+		Desc: "weak-scaling throughput grid under the Switch gate, all frameworks",
+		Run:  func(p Params) (*Table, error) { return Fig11ThroughputSwitch(p.GPUCounts) },
+	})
+	Register(Experiment{
+		Name: "fig12", Order: 40,
+		Desc: "weak-scaling throughput grid under Batch Prioritized Routing",
+		Run:  func(p Params) (*Table, error) { return Fig12ThroughputBPR(p.GPUCounts) },
+	})
+	Register(Experiment{
+		Name: "fig16", Order: 80,
+		Desc: "per-pass ablation: dW scheduling and partitioning alone vs the full pipeline",
+		Run:  func(Params) (*Table, error) { return Fig16Ablation() },
+	})
+}
+
 // throughputGrid runs the weak-scaling throughput comparison for one gate.
 func throughputGrid(id, title string, gate lancet.GateKind, frameworks []string, gpuCounts []int) (*Table, error) {
 	t := &Table{

@@ -3,6 +3,7 @@ package ir
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Graph is an SSA-style instruction-sequence program: an ordered list of
@@ -15,7 +16,12 @@ type Graph struct {
 	producer  map[int]int   // tensor ID -> instr ID (absent for graph inputs)
 	consumers map[int][]int // tensor ID -> instr IDs
 
-	// succs/preds are instruction-level adjacency, built lazily.
+	// succs/preds are instruction-level adjacency, built lazily. adjMu
+	// guards the build: construction and rewriting are single-goroutine,
+	// but a finished graph is read by concurrent plans/simulations (e.g.
+	// cmd/lancet -parallel shares one Session's graph across frameworks),
+	// and the first reader must not race another on the lazy init.
+	adjMu sync.Mutex
 	succs [][]int
 	preds [][]int
 	dirty bool
@@ -78,6 +84,8 @@ func (g *Graph) Producer(id int) int {
 func (g *Graph) Consumers(id int) []int { return g.consumers[id] }
 
 func (g *Graph) buildAdj() {
+	g.adjMu.Lock()
+	defer g.adjMu.Unlock()
 	if !g.dirty {
 		return
 	}

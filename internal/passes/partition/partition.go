@@ -78,7 +78,16 @@ func Run(g *ir.Graph, cm *cost.Model, opts Options) (*Result, error) {
 		}
 	}
 
-	bounds := makeGroups(g, cm, fwdEnd, opts.GroupUs)
+	// Price every forward instruction once up front: prefix[i] is the summed
+	// predicted time of the first i instructions, so the DP's inner loop
+	// prices a window by subtraction instead of re-walking it. The
+	// predictions themselves hit the cost model's memoization across the
+	// sweep's millions of repeated queries.
+	prefix := make([]float64, fwdEnd+1)
+	for i := 0; i < fwdEnd; i++ {
+		prefix[i+1] = prefix[i] + cm.PredictInstr(g.Instr(i))
+	}
+	bounds := makeGroups(prefix, opts.GroupUs)
 	n := len(bounds) - 1 // number of groups
 
 	res := &Result{}
@@ -99,7 +108,7 @@ func Run(g *ir.Graph, cm *cost.Model, opts Options) (*Result, error) {
 		}
 		for i := lo; i < j; i++ {
 			window := g.Instrs[bounds[i]:bounds[j]]
-			serial := serialCost(cm, window)
+			serial := prefix[bounds[j]] - prefix[bounds[i]]
 			if t := T[i] + serial; t < T[j] {
 				T[j] = t
 				best[j] = choice{from: i, k: 1, sUs: serial}
@@ -126,7 +135,7 @@ func Run(g *ir.Graph, cm *cost.Model, opts Options) (*Result, error) {
 		}
 	}
 	res.ForwardUs = T[n]
-	res.SerialForwardUs = serialCost(cm, g.Instrs[:fwdEnd])
+	res.SerialForwardUs = prefix[fwdEnd]
 
 	// Backtrack the chosen ranges.
 	for j := n; j > 0; {
@@ -152,14 +161,16 @@ func Run(g *ir.Graph, cm *cost.Model, opts Options) (*Result, error) {
 	return res, nil
 }
 
-// makeGroups splits the forward prefix [0, fwdEnd) into groups of roughly
-// groupUs predicted time and returns the group boundaries: bounds[i] is the
-// first instruction of group i, bounds[len-1] == fwdEnd.
-func makeGroups(g *ir.Graph, cm *cost.Model, fwdEnd int, groupUs float64) []int {
+// makeGroups splits the forward prefix into groups of roughly groupUs
+// predicted time and returns the group boundaries: bounds[i] is the first
+// instruction of group i, bounds[len-1] == len(prefix)-1. The prefix slice
+// holds cumulative predicted instruction times (see Run).
+func makeGroups(prefix []float64, groupUs float64) []int {
+	fwdEnd := len(prefix) - 1
 	bounds := []int{0}
 	acc := 0.0
 	for i := 0; i < fwdEnd; i++ {
-		acc += cm.PredictInstr(g.Instr(i))
+		acc += prefix[i+1] - prefix[i]
 		if acc >= groupUs && i+1 < fwdEnd {
 			bounds = append(bounds, i+1)
 			acc = 0

@@ -292,7 +292,11 @@ func TestGroupsCoverForwardExactly(t *testing.T) {
 		}
 		fwdEnd++
 	}
-	bounds := makeGroups(b.Graph, cm, fwdEnd, 2000)
+	prefix := make([]float64, fwdEnd+1)
+	for i := 0; i < fwdEnd; i++ {
+		prefix[i+1] = prefix[i] + cm.PredictInstr(b.Graph.Instr(i))
+	}
+	bounds := makeGroups(prefix, 2000)
 	if bounds[0] != 0 || bounds[len(bounds)-1] != fwdEnd {
 		t.Fatalf("bounds %v do not span [0,%d]", bounds, fwdEnd)
 	}

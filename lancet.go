@@ -24,6 +24,7 @@ package lancet
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"lancet/internal/baselines"
@@ -154,7 +155,9 @@ type Session struct {
 	// which actual runs price with the link-level network simulator.
 	WorkloadSkew float64
 
-	costRAF  *cost.Model
+	costRAF *cost.Model
+
+	mu       sync.Mutex              // guards profiles; plans of one session may run concurrently
 	profiles map[int]*routingProfile // cache: micro-batch count -> profile
 }
 
@@ -545,6 +548,8 @@ func sumf(xs []float64) float64 {
 // routing distribution depends on token and expert counts, not hidden
 // width) split into k micro-batches, and caches the dispatch statistics.
 func (s *Session) profile(k int) (*routingProfile, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if p, ok := s.profiles[k]; ok {
 		return p, nil
 	}
