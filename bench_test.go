@@ -4,7 +4,7 @@ package lancet_test
 // regenerates the corresponding experiment on a reduced (16-GPU) grid; the
 // full grids are produced by `go run ./cmd/lancet-bench`. Additional
 // micro-benchmarks cover the optimization passes themselves and the
-// ablations called out in DESIGN.md.
+// ablations called out in DESIGN.md §8.
 
 import (
 	"testing"

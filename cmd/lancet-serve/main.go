@@ -1,0 +1,72 @@
+// Command lancet-serve runs the long-lived planning service: an HTTP/JSON
+// front end over the Session/Plan API with a bounded LRU plan store and
+// singleflight deduplication, so repeated and concurrent identical requests
+// are served without re-running the optimization passes (DESIGN.md §9).
+//
+// Usage:
+//
+//	lancet-serve -addr :8080 -cache-size 256 -parallel 8
+//
+// Endpoints:
+//
+//	POST /v1/plan         plan one configuration, compare against a baseline
+//	POST /v1/sweep        fan a configuration grid out over the worker pool
+//	GET  /v1/experiments  the registered experiment suite
+//	GET  /v1/stats        plan-store, session-pool and cost-model counters
+//	GET  /healthz         liveness probe
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"lancet/internal/service"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lancet-serve: ")
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		cacheSize = flag.Int("cache-size", 256, "plan-store capacity (entries)")
+		parallel  = flag.Int("parallel", runtime.NumCPU(), "sweep worker-pool size")
+	)
+	flag.Parse()
+
+	svc := service.New(service.Config{CacheSize: *cacheSize, Parallel: *parallel})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	// ListenAndServe returns the moment Shutdown is called, so main must
+	// wait for the drain itself before exiting.
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	}()
+
+	log.Printf("serving on %s (cache %d entries, %d sweep workers)", *addr, *cacheSize, *parallel)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	<-drained
+	log.Printf("drained; bye")
+}

@@ -24,11 +24,19 @@ func main() {
 	var (
 		clusterT  = flag.String("cluster", "V100", "cluster GPU type")
 		gpus      = flag.Int("gpus", 16, "total GPUs")
-		framework = flag.String("framework", "lancet", "deepspeed, raf, tutel or lancet")
+		framework = flag.String("framework", "lancet", "deepspeed, raf, tutel, fastermoe or lancet")
 		out       = flag.String("out", "trace.json", "output file")
 		large     = flag.Bool("large", false, "use GPT2-L-MoE instead of GPT2-S-MoE")
 	)
 	flag.Parse()
+
+	// Validate the framework up front — the same uniform early-error
+	// treatment -gate gets in cmd/lancet — instead of failing after the
+	// session (graph build, routing profiles) has already been paid for.
+	fw, err := lancet.ParseFramework(*framework)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	cfg := lancet.GPT2SMoE(0)
 	if *large {
@@ -42,7 +50,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	plan, err := sess.Baseline(*framework)
+	plan, err := sess.Baseline(fw)
 	if err != nil {
 		log.Fatal(err)
 	}

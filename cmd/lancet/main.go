@@ -8,17 +8,18 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"runtime"
-	"strings"
-	"sync"
 	"text/tabwriter"
 
 	"lancet"
+	"lancet/internal/pool"
+	"lancet/internal/service"
 )
 
 func main() {
@@ -41,7 +42,7 @@ func main() {
 	)
 	flag.Parse()
 
-	cfg, err := pickModel(*modelName, *batch)
+	cfg, err := lancet.ParseModel(*modelName, *batch)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -49,7 +50,7 @@ func main() {
 	// even on paths that end up keeping the model's default. Only override
 	// the model's default gate when -gate was explicitly given (the vision
 	// model defaults to Batch Prioritized Routing).
-	gate, err := pickGate(*gateName)
+	gate, err := lancet.ParseGate(*gateName)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -79,25 +80,9 @@ func main() {
 	if workers <= 0 {
 		workers = 1
 	}
-	if workers > len(frameworks) {
-		workers = len(frameworks)
-	}
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				results[i] = runFramework(sess, frameworks[i], *seed, *rho, *prio)
-			}
-		}()
-	}
-	for i := range frameworks {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
+	pool.ForEachIndexed(context.Background(), len(frameworks), workers, func(i int) {
+		results[i] = runFramework(sess, frameworks[i], *seed, *rho, *prio)
+	})
 
 	for _, r := range results {
 		if r.Err != "" {
@@ -157,82 +142,18 @@ func main() {
 	}
 }
 
-// fwResult is one framework's planned-and-simulated outcome.
+// fwResult is one framework's planned-and-simulated outcome. The numbers
+// come from the same service.Compute the serving layer uses, so CLI output
+// and lancet-serve responses are identical for the same configuration.
 type fwResult struct {
-	Framework           string  `json:"framework"`
-	Name                string  `json:"name"`
-	OOM                 bool    `json:"oom,omitempty"`
-	IterationMs         float64 `json:"iteration_ms,omitempty"`
-	NonOverlappedCommMs float64 `json:"non_overlapped_comm_ms,omitempty"`
-	OverlapMs           float64 `json:"overlap_ms,omitempty"`
-	AllToAllMs          float64 `json:"a2a_ms,omitempty"`
-	Notes               string  `json:"notes,omitempty"`
-	Err                 string  `json:"error,omitempty"`
+	service.Result
+	Err string `json:"error,omitempty"`
 }
 
 func runFramework(sess *lancet.Session, fw string, seed int64, rho int, prio bool) fwResult {
-	res := fwResult{Framework: fw}
-	var plan *lancet.Plan
-	var err error
-	if fw == lancet.FrameworkLancet {
-		plan, err = sess.Lancet(lancet.Options{MaxPartitions: rho, PrioritizeAllToAll: prio})
-	} else {
-		plan, err = sess.Baseline(fw)
-	}
+	res, err := service.Compute(sess, fw, seed, lancet.Options{MaxPartitions: rho, PrioritizeAllToAll: prio})
 	if err != nil {
-		res.Err = err.Error()
-		return res
+		return fwResult{Result: service.Result{Framework: fw}, Err: err.Error()}
 	}
-	res.Name = plan.Name
-	if plan.OOM {
-		res.OOM = true
-		return res
-	}
-	r, err := plan.Simulate(seed)
-	if err != nil {
-		res.Err = err.Error()
-		return res
-	}
-	res.IterationMs = r.IterationMs
-	res.NonOverlappedCommMs = r.NonOverlappedCommMs
-	res.OverlapMs = r.OverlapMs
-	res.AllToAllMs = r.AllToAllMs
-	switch fw {
-	case lancet.FrameworkTutel:
-		res.Notes = fmt.Sprintf("overlap degree %d", plan.TutelDegree)
-	case lancet.FrameworkLancet:
-		res.Notes = fmt.Sprintf("%d pipelines, dW overlap %.1f ms, optimized in %s",
-			plan.PipelineRanges, plan.DWOverlapUs/1000, plan.OptimizeTime.Round(1e6))
-	}
-	return res
-}
-
-func pickModel(name string, batch int) (lancet.ModelConfig, error) {
-	switch strings.ToLower(name) {
-	case "gpt2-s", "s", "small":
-		return lancet.GPT2SMoE(batch), nil
-	case "gpt2-l", "l", "large":
-		return lancet.GPT2LMoE(batch), nil
-	case "vit-s", "vit":
-		return lancet.ViTSMoE(batch), nil
-	}
-	return lancet.ModelConfig{}, fmt.Errorf("unknown model %q (want gpt2-s, gpt2-l or vit-s)", name)
-}
-
-func pickGate(name string) (lancet.GateKind, error) {
-	switch strings.ToLower(name) {
-	case "switch":
-		return lancet.GateSwitch, nil
-	case "top2":
-		return lancet.GateTop2, nil
-	case "bpr", "batch_prioritized":
-		return lancet.GateBatchPriority, nil
-	case "random":
-		return lancet.GateRandom, nil
-	case "hash":
-		return lancet.GateHash, nil
-	case "expert_choice", "ec":
-		return lancet.GateExpertChoice, nil
-	}
-	return 0, fmt.Errorf("unknown gate %q", name)
+	return fwResult{Result: res}
 }

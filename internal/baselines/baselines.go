@@ -31,7 +31,7 @@ type Spec struct {
 	// observed running out of memory that a monotone footprint model
 	// cannot derive (the paper's DeepSpeed OOMs on GPT2-S-MoE/A100 while
 	// running the strictly larger GPT2-L-MoE/A100 — an allocator quirk of
-	// that DeepSpeed version, reproduced here by record; see DESIGN.md).
+	// that DeepSpeed version, reproduced here by record; see DESIGN.md §5).
 	KnownOOM map[string]bool
 }
 

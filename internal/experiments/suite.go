@@ -7,10 +7,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"runtime"
 	"strings"
-	"sync"
 	"time"
+
+	"lancet/internal/pool"
 )
 
 // Run executes one experiment by name.
@@ -39,48 +39,18 @@ type Result struct {
 func RunSuite(ctx context.Context, quick bool, workers int) []Result {
 	exps := All()
 	results := make([]Result, len(exps))
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
-	if workers > len(exps) {
-		workers = len(exps)
-	}
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				e := exps[i]
-				start := time.Now()
-				t, err := e.Run(Params{Quick: quick, GPUCounts: DefaultCounts(quick)})
-				if err != nil {
-					err = fmt.Errorf("experiments: %s: %w", e.Name, err)
-				}
-				results[i] = Result{Name: e.Name, Table: t, Err: err, Elapsed: time.Since(start)}
-			}
-		}()
-	}
-dispatch:
-	for i := range exps {
-		if ctx.Err() != nil {
-			for j := i; j < len(exps); j++ {
-				results[j] = Result{Name: exps[j].Name, Err: ctx.Err()}
-			}
-			break
+	undispatched := pool.ForEachIndexed(ctx, len(exps), workers, func(i int) {
+		e := exps[i]
+		start := time.Now()
+		t, err := e.Run(Params{Quick: quick, GPUCounts: DefaultCounts(quick)})
+		if err != nil {
+			err = fmt.Errorf("experiments: %s: %w", e.Name, err)
 		}
-		select {
-		case jobs <- i:
-		case <-ctx.Done():
-			for j := i; j < len(exps); j++ {
-				results[j] = Result{Name: exps[j].Name, Err: ctx.Err()}
-			}
-			break dispatch
-		}
+		results[i] = Result{Name: e.Name, Table: t, Err: err, Elapsed: time.Since(start)}
+	})
+	for j := undispatched; j < len(exps); j++ {
+		results[j] = Result{Name: exps[j].Name, Err: ctx.Err()}
 	}
-	close(jobs)
-	wg.Wait()
 	return results
 }
 

@@ -6,7 +6,7 @@ package model
 // frameworks, leading to OOM on A100 when running the GPT2-S-MoE model"
 // (Sec. 7.1). We reproduce that with calibrated per-framework factors —
 // exact allocator behaviour is outside the scope of this reproduction (see
-// DESIGN.md).
+// DESIGN.md §6).
 type MemoryProfile struct {
 	// StateFactor multiplies parameter bytes: weights + gradients +
 	// optimizer state (+ fp32 master copies for frameworks that keep

@@ -1,0 +1,58 @@
+// Package pool provides the indexed bounded worker-pool fan-out shared by
+// the experiment suite, cmd/lancet and the serving layer's sweeps: items
+// are dispatched to a fixed number of goroutines and processed by index,
+// so callers write results into pre-allocated slots and keep deterministic
+// output order regardless of completion order.
+package pool
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// ForEachIndexed runs fn(i) for i in [0, n) over at most workers
+// goroutines (<= 0 selects runtime.NumCPU()) and blocks until every
+// dispatched call has returned. Cancelling the context stops dispatching
+// further items — running ones finish. The returned index is the first
+// item that was never handed to a worker (n when everything was
+// dispatched); callers report items at or after it with the context's
+// error.
+func ForEachIndexed(ctx context.Context, n, workers int, fn func(i int)) (undispatched int) {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for range workers {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				fn(i)
+			}
+		}()
+	}
+	undispatched = n
+dispatch:
+	for i := 0; i < n; i++ {
+		// Checked before the select too: with an idle worker both select
+		// cases are ready and a canceled context could still dispatch.
+		if ctx.Err() != nil {
+			undispatched = i
+			break
+		}
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			undispatched = i
+			break dispatch
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	return undispatched
+}

@@ -1,0 +1,56 @@
+package pool
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachIndexedRunsAll(t *testing.T) {
+	const n = 50
+	var ran [n]atomic.Int32
+	und := ForEachIndexed(context.Background(), n, 4, func(i int) { ran[i].Add(1) })
+	if und != n {
+		t.Errorf("undispatched = %d, want %d", und, n)
+	}
+	for i := range ran {
+		if got := ran[i].Load(); got != 1 {
+			t.Errorf("item %d ran %d times", i, got)
+		}
+	}
+}
+
+func TestForEachIndexedCanceledUpFront(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var calls atomic.Int32
+	und := ForEachIndexed(ctx, 10, 2, func(int) { calls.Add(1) })
+	if und != 0 || calls.Load() != 0 {
+		t.Errorf("canceled context dispatched %d items (undispatched=%d), want none", calls.Load(), und)
+	}
+}
+
+func TestForEachIndexedCancelMidway(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls atomic.Int32
+	und := ForEachIndexed(ctx, 100, 1, func(i int) {
+		calls.Add(1)
+		if i == 4 {
+			cancel()
+		}
+	})
+	// With one worker, items run in order; cancellation after item 4 means
+	// at most a handful more dispatches were already in the channel.
+	if got := calls.Load(); got < 5 || got > 10 {
+		t.Errorf("ran %d items after cancel at 4", got)
+	}
+	if und >= 100 || int(calls.Load()) > und {
+		t.Errorf("undispatched = %d with %d calls", und, calls.Load())
+	}
+}
+
+func TestForEachIndexedZeroItems(t *testing.T) {
+	if und := ForEachIndexed(context.Background(), 0, 4, func(int) { t.Error("no items to run") }); und != 0 {
+		t.Errorf("undispatched = %d, want 0", und)
+	}
+}

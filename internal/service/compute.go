@@ -1,0 +1,75 @@
+// Package service is the plan-serving layer: a long-lived HTTP/JSON front
+// end over the Session/Plan API with a bounded LRU plan store and
+// singleflight deduplication of concurrent identical requests, so a burst
+// of N identical calls triggers one optimization run (see DESIGN.md §9).
+//
+// The per-framework computation (Compute) is shared with cmd/lancet, which
+// makes service responses numerically identical to the CLI's output for
+// the same configuration and seed.
+package service
+
+import (
+	"fmt"
+
+	"lancet"
+)
+
+// Result is one framework's planned-and-simulated outcome: the quantities
+// cmd/lancet prints per row, plus the optimizer-visible prediction of the
+// same plan (the two axes of paper Fig. 14).
+type Result struct {
+	Framework           string  `json:"framework"`
+	Name                string  `json:"name,omitempty"`
+	OOM                 bool    `json:"oom,omitempty"`
+	PredictedUs         float64 `json:"predicted_us,omitempty"`
+	IterationMs         float64 `json:"iteration_ms,omitempty"`
+	NonOverlappedCommMs float64 `json:"non_overlapped_comm_ms,omitempty"`
+	OverlapMs           float64 `json:"overlap_ms,omitempty"`
+	AllToAllMs          float64 `json:"a2a_ms,omitempty"`
+	Notes               string  `json:"notes,omitempty"`
+}
+
+// Compute plans framework fw on the session and simulates one iteration
+// with the given seed. opts applies only to the Lancet framework, matching
+// cmd/lancet's -rho/-prio semantics. The result is deterministic in
+// (session configuration, fw, seed, opts).
+func Compute(sess *lancet.Session, fw string, seed int64, opts lancet.Options) (Result, error) {
+	res := Result{Framework: fw}
+	var plan *lancet.Plan
+	var err error
+	if fw == lancet.FrameworkLancet {
+		plan, err = sess.Lancet(opts)
+	} else {
+		plan, err = sess.Baseline(fw)
+	}
+	if err != nil {
+		return res, err
+	}
+	res.Name = plan.Name
+	if plan.OOM {
+		res.OOM = true
+		return res, nil
+	}
+	if res.PredictedUs, err = plan.PredictUs(); err != nil {
+		return res, err
+	}
+	r, err := plan.Simulate(seed)
+	if err != nil {
+		return res, err
+	}
+	res.IterationMs = r.IterationMs
+	res.NonOverlappedCommMs = r.NonOverlappedCommMs
+	res.OverlapMs = r.OverlapMs
+	res.AllToAllMs = r.AllToAllMs
+	switch fw {
+	case lancet.FrameworkTutel:
+		res.Notes = fmt.Sprintf("overlap degree %d", plan.TutelDegree)
+	case lancet.FrameworkLancet:
+		// Deliberately no wall-clock here: a Result must be deterministic in
+		// its inputs so cached and freshly computed responses are
+		// byte-identical.
+		res.Notes = fmt.Sprintf("%d pipelines, dW overlap %.1f ms, rho %d",
+			plan.PipelineRanges, plan.DWOverlapUs/1000, plan.RhoUsed)
+	}
+	return res, nil
+}

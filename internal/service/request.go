@@ -1,0 +1,201 @@
+package service
+
+import (
+	"fmt"
+	"strings"
+
+	"lancet"
+)
+
+// PlanOptions mirrors lancet.Options field by field with JSON names, so
+// service clients can reach every optimization knob the CLI exposes.
+type PlanOptions struct {
+	MaxPartitions      int     `json:"max_partitions,omitempty"`
+	GroupUs            float64 `json:"group_us,omitempty"`
+	MaxRangeGroups     int     `json:"max_range_groups,omitempty"`
+	DisableDWSchedule  bool    `json:"disable_dw_schedule,omitempty"`
+	DisablePartition   bool    `json:"disable_partition,omitempty"`
+	DWFirstFit         bool    `json:"dw_first_fit,omitempty"`
+	PrioritizeAllToAll bool    `json:"prioritize_all_to_all,omitempty"`
+}
+
+func (o PlanOptions) toLancet() lancet.Options {
+	return lancet.Options{
+		MaxPartitions:      o.MaxPartitions,
+		GroupUs:            o.GroupUs,
+		MaxRangeGroups:     o.MaxRangeGroups,
+		DisableDWSchedule:  o.DisableDWSchedule,
+		DisablePartition:   o.DisablePartition,
+		DWFirstFit:         o.DWFirstFit,
+		PrioritizeAllToAll: o.PrioritizeAllToAll,
+	}
+}
+
+// PlanRequest is the body of POST /v1/plan. Zero values select the same
+// defaults as cmd/lancet: GPT2-S-MoE on 16 V100s, the model's default gate,
+// framework "lancet" compared against baseline "tutel", seed 1.
+type PlanRequest struct {
+	Model   string `json:"model,omitempty"`
+	Cluster string `json:"cluster,omitempty"`
+	GPUs    int    `json:"gpus,omitempty"`
+	Batch   int    `json:"batch,omitempty"`
+	Gate    string `json:"gate,omitempty"`
+	// Framework is the plan to serve; Baseline is what it is compared
+	// against ("none" disables the comparison).
+	Framework string `json:"framework,omitempty"`
+	Baseline  string `json:"baseline,omitempty"`
+	// Seed drives the simulation; nil selects the CLI's default of 1. A
+	// pointer so an explicit 0 — a valid seed the CLI accepts — stays
+	// distinguishable from "unset".
+	Seed         *int64      `json:"seed,omitempty"`
+	Skew         float64     `json:"skew,omitempty"`
+	SharedExpert bool        `json:"shared_expert,omitempty"`
+	ZeRO3        bool        `json:"zero3,omitempty"`
+	Options      PlanOptions `json:"options,omitempty"`
+}
+
+// BaselineNone disables the baseline comparison of /v1/plan.
+const BaselineNone = "none"
+
+// canonical is a fully resolved, validated request: model aliases expanded,
+// the paper's default batch filled in for the cluster, gate defaults
+// applied. Two requests that resolve to the same canonical form share one
+// plan-store entry.
+type canonical struct {
+	cfg         lancet.ModelConfig
+	clusterType string
+	gpus        int
+	framework   string
+	baseline    string // "" = comparison disabled
+	seed        int64
+	skew        float64
+	opts        PlanOptions
+}
+
+// canonicalize validates r and resolves every default. All errors it
+// returns are client errors (HTTP 400): the uniform early-error treatment
+// -gate and -framework get in the CLIs.
+func (r PlanRequest) canonicalize() (*canonical, error) {
+	c := &canonical{seed: 1, skew: r.Skew, opts: r.Options}
+	if r.Seed != nil {
+		c.seed = *r.Seed
+	}
+	if c.skew < 0 {
+		return nil, fmt.Errorf("skew must be non-negative, got %g", c.skew)
+	}
+	// Negative knobs would silently disable passes (Session.Lancet only
+	// substitutes defaults for exactly 0); reject them like every other
+	// invalid field.
+	if o := r.Options; o.MaxPartitions < 0 || o.GroupUs < 0 || o.MaxRangeGroups < 0 {
+		return nil, fmt.Errorf("options must be non-negative, got max_partitions %d, group_us %g, max_range_groups %d",
+			o.MaxPartitions, o.GroupUs, o.MaxRangeGroups)
+	}
+
+	name := r.Model
+	if name == "" {
+		name = "gpt2-s"
+	}
+	cfg, err := lancet.ParseModel(name, r.Batch)
+	if err != nil {
+		return nil, err
+	}
+	if r.Gate != "" {
+		gate, err := lancet.ParseGate(r.Gate)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Gate = gate
+	}
+	cfg.SharedExpert = r.SharedExpert
+	cfg.ZeRO3 = r.ZeRO3
+
+	c.clusterType = strings.ToUpper(strings.TrimSpace(r.Cluster))
+	if c.clusterType == "" {
+		c.clusterType = "V100"
+	}
+	c.gpus = r.GPUs
+	if c.gpus == 0 {
+		c.gpus = 16
+	}
+	// Build the cluster once to reject unknown GPU types and invalid
+	// counts up front; NewSession rebuilds it cheaply.
+	if _, err := lancet.NewCluster(c.clusterType, c.gpus); err != nil {
+		return nil, err
+	}
+	if cfg.BatchPerGPU <= 0 {
+		cfg.BatchPerGPU = cfg.PaperBatchSize(c.clusterType)
+	}
+	c.cfg = cfg
+
+	c.framework = lancet.FrameworkLancet
+	if r.Framework != "" {
+		if c.framework, err = lancet.ParseFramework(r.Framework); err != nil {
+			return nil, err
+		}
+	}
+	switch strings.ToLower(strings.TrimSpace(r.Baseline)) {
+	case "":
+		c.baseline = lancet.FrameworkTutel
+		if c.baseline == c.framework {
+			// The default comparison is meaningless against itself
+			// (framework "tutel"); quietly disable it.
+			c.baseline = ""
+		}
+	case BaselineNone:
+		c.baseline = ""
+	default:
+		if c.baseline, err = lancet.ParseFramework(r.Baseline); err != nil {
+			return nil, err
+		}
+		if c.baseline == c.framework {
+			return nil, fmt.Errorf("baseline equals framework %q; use baseline %q to disable the comparison",
+				c.framework, BaselineNone)
+		}
+	}
+	return c, nil
+}
+
+// echo returns the canonical request as a response-friendly PlanRequest, so
+// clients see exactly which configuration (defaults resolved) was planned.
+func (c *canonical) echo() PlanRequest {
+	baseline := c.baseline
+	if baseline == "" {
+		baseline = BaselineNone
+	}
+	seed := c.seed
+	return PlanRequest{
+		Model:        c.cfg.Name,
+		Cluster:      c.clusterType,
+		GPUs:         c.gpus,
+		Batch:        c.cfg.BatchPerGPU,
+		Gate:         c.cfg.Gate.String(),
+		Framework:    c.framework,
+		Baseline:     baseline,
+		Seed:         &seed,
+		Skew:         c.skew,
+		SharedExpert: c.cfg.SharedExpert,
+		ZeRO3:        c.cfg.ZeRO3,
+		Options:      c.opts,
+	}
+}
+
+// sessionKey identifies the Session a request needs: everything that shapes
+// the built graph and its routing profiles, nothing that only shapes the
+// plan (framework, seed, options).
+func (c *canonical) sessionKey() string {
+	return fmt.Sprintf("%s|%s|%d|b%d|%s|shared%t|zero3%t|skew%g",
+		c.cfg.Name, c.clusterType, c.gpus, c.cfg.BatchPerGPU, c.cfg.Gate,
+		c.cfg.SharedExpert, c.cfg.ZeRO3, c.skew)
+}
+
+// planKey identifies one framework's plan-and-simulate outcome in the plan
+// store: the session key plus framework, seed and optimization options.
+// Options only shape the Lancet plan (Compute ignores them for baselines),
+// so baseline entries are shared across option values.
+func (c *canonical) planKey(framework string) string {
+	opts := c.opts
+	if framework != lancet.FrameworkLancet {
+		opts = PlanOptions{}
+	}
+	return fmt.Sprintf("%s|%s|seed%d|%+v", c.sessionKey(), framework, c.seed, opts)
+}

@@ -1,0 +1,456 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+
+	"lancet"
+	"lancet/internal/experiments"
+	"lancet/internal/pool"
+)
+
+// maxSweepPoints bounds one /v1/sweep's cross product; larger grids are a
+// client error, not a way to monopolize the worker pool.
+const maxSweepPoints = 1024
+
+// maxBodyBytes bounds POST request bodies; planning requests are small and
+// a sweep near the grid cap still fits comfortably.
+const maxBodyBytes = 1 << 20
+
+// Config sizes the service.
+type Config struct {
+	// CacheSize bounds the plan store (entries). Default 256.
+	CacheSize int
+	// SessionCacheSize bounds the session pool. Default 32.
+	SessionCacheSize int
+	// Parallel is the sweep worker-pool size. Default runtime.NumCPU().
+	Parallel int
+}
+
+// Service is the long-lived planning front end: a bounded LRU plan store
+// keyed on the canonicalized request, singleflight deduplication of
+// concurrent identical requests, and a pool of reusable sessions. All
+// methods are safe for concurrent use.
+type Service struct {
+	cfg Config
+
+	plans      *lruStore[*Result]
+	planFlight flightGroup[*Result]
+
+	sessions   *lruStore[*lancet.Session]
+	sessFlight flightGroup[*lancet.Session]
+
+	// computations counts actual plan-and-simulate runs — the quantity the
+	// burst test pins to 1 for N identical concurrent requests.
+	computations atomic.Int64
+
+	// retiredCost accumulates evicted sessions' cost-model counters so
+	// /v1/stats stays monotonic when the session pool churns.
+	retiredCost struct{ hits, misses, profiled atomic.Int64 }
+
+	// sweepSem bounds sweep computation server-wide at cfg.Parallel: each
+	// request still fans out over its own pool.ForEachIndexed goroutines,
+	// but concurrent sweeps share this one budget of running grid points.
+	sweepSem chan struct{}
+}
+
+// New builds a Service, applying defaults for zero Config fields.
+func New(cfg Config) *Service {
+	if cfg.CacheSize <= 0 {
+		cfg.CacheSize = 256
+	}
+	if cfg.SessionCacheSize <= 0 {
+		cfg.SessionCacheSize = 32
+	}
+	if cfg.Parallel <= 0 {
+		cfg.Parallel = runtime.NumCPU()
+	}
+	s := &Service{
+		cfg:      cfg,
+		plans:    newLRU[*Result](cfg.CacheSize),
+		sessions: newLRU[*lancet.Session](cfg.SessionCacheSize),
+	}
+	s.sessions.onEvict = func(sess *lancet.Session) {
+		// Counters an in-flight computation accrues on the evicted session
+		// after this snapshot are lost — an accepted approximation; the
+		// tally exists to keep the aggregate monotonic, not exact.
+		cs := sess.CostStats()
+		s.retiredCost.hits.Add(cs.Hits)
+		s.retiredCost.misses.Add(cs.Misses)
+		s.retiredCost.profiled.Add(cs.ProfiledOps)
+	}
+	s.sweepSem = make(chan struct{}, cfg.Parallel)
+	return s
+}
+
+// session returns the pooled session for the request's configuration,
+// building (and deduplicating concurrent builds of) it on first use.
+func (s *Service) session(c *canonical) (*lancet.Session, error) {
+	key := c.sessionKey()
+	if sess, ok := s.sessions.get(key); ok {
+		return sess, nil
+	}
+	sess, err, _ := s.sessFlight.do(key, func() (*lancet.Session, error) {
+		if sess, ok := s.sessions.peek(key); ok {
+			return sess, nil
+		}
+		cluster, err := lancet.NewCluster(c.clusterType, c.gpus)
+		if err != nil {
+			return nil, err
+		}
+		sess, err := lancet.NewSession(c.cfg, cluster)
+		if err != nil {
+			return nil, err
+		}
+		sess.WorkloadSkew = c.skew
+		s.sessions.put(key, sess)
+		return sess, nil
+	})
+	return sess, err
+}
+
+// resultFor serves one framework's result through the plan store: LRU hit,
+// singleflight share, or a fresh computation. The returned cache state is
+// "hit", "shared" or "miss". Panics while planning are contained and
+// returned as errors, so a bad grid point cannot take down sweep workers
+// (plain goroutines with no net/http recovery) or the whole server.
+func (s *Service) resultFor(c *canonical, fw string) (r *Result, state string, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			r, state, err = nil, "error", fmt.Errorf("panic while planning %s: %v", fw, p)
+		}
+	}()
+	key := c.planKey(fw)
+	if r, ok := s.plans.get(key); ok {
+		return r, "hit", nil
+	}
+	fromStore := false
+	r, err, shared := s.planFlight.do(key, func() (*Result, error) {
+		// Re-check under the flight: a previous leader may have stored the
+		// result between our miss and becoming leader, and flight entries
+		// are removed only after the store is populated — so a burst of N
+		// identical requests runs Compute exactly once. peek keeps the
+		// outer get's recorded miss from double-counting this request.
+		if r, ok := s.plans.peek(key); ok {
+			fromStore = true
+			return r, nil
+		}
+		sess, err := s.session(c)
+		if err != nil {
+			return nil, err
+		}
+		s.computations.Add(1)
+		res, err := Compute(sess, fw, c.seed, c.opts.toLancet())
+		if err != nil {
+			return nil, err
+		}
+		s.plans.put(key, &res)
+		return &res, nil
+	})
+	state = "miss"
+	switch {
+	case shared:
+		state = "shared"
+	case fromStore:
+		state = "hit"
+	}
+	return r, state, err
+}
+
+// Computations reports how many plan-and-simulate runs the service has
+// actually executed (cache hits and deduplicated requests excluded).
+func (s *Service) Computations() int64 { return s.computations.Load() }
+
+// PlanResponse is the body of a successful POST /v1/plan.
+type PlanResponse struct {
+	// Request echoes the canonicalized request with all defaults resolved.
+	Request PlanRequest `json:"request"`
+	Result  *Result     `json:"result"`
+	// Baseline is the comparison plan, omitted when disabled.
+	Baseline *Result `json:"baseline,omitempty"`
+	// SpeedupOverBaseline is baseline iteration time over result iteration
+	// time; omitted when either side OOMs or the comparison is disabled.
+	SpeedupOverBaseline float64 `json:"speedup_over_baseline,omitempty"`
+}
+
+// Handler returns the service's HTTP routes.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/plan", s.handlePlan)
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// errorResponse is the body of every non-2xx JSON reply.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone; nothing to do
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+func (s *Service) handlePlan(w http.ResponseWriter, r *http.Request) {
+	var req PlanRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	c, err := req.canonicalize()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// The main plan and the baseline are independent computations; overlap
+	// them so a cold default request doesn't pay for both sequentially.
+	var base *Result
+	var baseErr error
+	baseDone := make(chan struct{})
+	if c.baseline != "" {
+		go func() {
+			defer close(baseDone)
+			base, _, baseErr = s.resultFor(c, c.baseline)
+		}()
+	}
+	res, state, err := s.resultFor(c, c.framework)
+	if c.baseline != "" {
+		<-baseDone
+	}
+	if err == nil {
+		err = baseErr
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := PlanResponse{Request: c.echo(), Result: res}
+	if c.baseline != "" {
+		resp.Baseline = base
+		if !res.OOM && !base.OOM && res.IterationMs > 0 {
+			resp.SpeedupOverBaseline = base.IterationMs / res.IterationMs
+		}
+	}
+	// The cache verdict travels in a header so identical requests get
+	// byte-identical bodies whether served fresh, shared or from the store.
+	w.Header().Set("X-Lancet-Cache", state)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// SweepRequest is the body of POST /v1/sweep: a grid of configurations,
+// fanned out over the service's worker pool. Empty dimensions default to
+// one-element grids matching PlanRequest's defaults.
+type SweepRequest struct {
+	Models     []string `json:"models,omitempty"`
+	Clusters   []string `json:"clusters,omitempty"`
+	GPUs       []int    `json:"gpus,omitempty"`
+	Gates      []string `json:"gates,omitempty"`
+	Frameworks []string `json:"frameworks,omitempty"`
+
+	Batch        int         `json:"batch,omitempty"`
+	Seed         *int64      `json:"seed,omitempty"`
+	Skew         float64     `json:"skew,omitempty"`
+	SharedExpert bool        `json:"shared_expert,omitempty"`
+	ZeRO3        bool        `json:"zero3,omitempty"`
+	Options      PlanOptions `json:"options,omitempty"`
+}
+
+// SweepItem is one grid point's outcome. Err carries per-point failures
+// (e.g. a GPU count invalid for one cluster type) without failing the rest
+// of the sweep — the same containment the experiment suite engine uses.
+type SweepItem struct {
+	Request PlanRequest `json:"request"`
+	Result  *Result     `json:"result,omitempty"`
+	Err     string      `json:"error,omitempty"`
+}
+
+// SweepResponse is the body of a successful POST /v1/sweep, results in
+// deterministic grid order regardless of completion order.
+type SweepResponse struct {
+	Count   int         `json:"count"`
+	Results []SweepItem `json:"results"`
+}
+
+func orDefault(xs []string, def string) []string {
+	if len(xs) == 0 {
+		return []string{def}
+	}
+	return xs
+}
+
+func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	models := orDefault(req.Models, "gpt2-s")
+	clusters := orDefault(req.Clusters, "V100")
+	gates := orDefault(req.Gates, "")
+	frameworks := orDefault(req.Frameworks, lancet.FrameworkLancet)
+	gpuCounts := req.GPUs
+	if len(gpuCounts) == 0 {
+		gpuCounts = []int{16}
+	}
+
+	// Reject oversized grids before materializing a single point.
+	points := int64(len(models)) * int64(len(clusters)) * int64(len(gpuCounts)) *
+		int64(len(gates)) * int64(len(frameworks))
+	if points > maxSweepPoints {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("sweep grid has %d points, limit %d", points, maxSweepPoints))
+		return
+	}
+
+	// Expand the cross product in deterministic order.
+	var grid []PlanRequest
+	for _, m := range models {
+		for _, cl := range clusters {
+			for _, g := range gpuCounts {
+				for _, gate := range gates {
+					for _, fw := range frameworks {
+						grid = append(grid, PlanRequest{
+							Model: m, Cluster: cl, GPUs: g, Gate: gate,
+							Framework: fw, Baseline: BaselineNone,
+							Batch: req.Batch, Seed: req.Seed, Skew: req.Skew,
+							SharedExpert: req.SharedExpert, ZeRO3: req.ZeRO3,
+							Options: req.Options,
+						})
+					}
+				}
+			}
+		}
+	}
+
+	// Fan the grid out over the shared worker-pool fan-out (the suite
+	// engine's pattern, including its cancellation: a disconnected client
+	// stops the dispatch instead of grinding through dead work); results
+	// land at their grid index so output order is stable. The semaphore
+	// makes cfg.Parallel a server-wide bound across concurrent sweeps,
+	// not a per-request one.
+	ctx := r.Context()
+	items := make([]SweepItem, len(grid))
+	undispatched := pool.ForEachIndexed(ctx, len(grid), s.cfg.Parallel, func(i int) {
+		// Give up the wait for a semaphore slot when the client is gone —
+		// an already-dispatched point must not run dead work either.
+		select {
+		case s.sweepSem <- struct{}{}:
+		case <-ctx.Done():
+			items[i] = SweepItem{Request: grid[i], Err: context.Cause(ctx).Error()}
+			return
+		}
+		defer func() { <-s.sweepSem }()
+		items[i] = s.sweepOne(grid[i])
+	})
+	for i := undispatched; i < len(grid); i++ {
+		items[i] = SweepItem{Request: grid[i], Err: context.Cause(ctx).Error()}
+	}
+
+	writeJSON(w, http.StatusOK, SweepResponse{Count: len(items), Results: items})
+}
+
+// sweepOne resolves and serves a single grid point, folding its errors into
+// the item.
+func (s *Service) sweepOne(req PlanRequest) SweepItem {
+	c, err := req.canonicalize()
+	if err != nil {
+		return SweepItem{Request: req, Err: err.Error()}
+	}
+	res, _, err := s.resultFor(c, c.framework)
+	if err != nil {
+		return SweepItem{Request: c.echo(), Err: err.Error()}
+	}
+	return SweepItem{Request: c.echo(), Result: res}
+}
+
+// ExperimentInfo describes one registered experiment for GET
+// /v1/experiments.
+type ExperimentInfo struct {
+	Name  string `json:"name"`
+	Desc  string `json:"desc"`
+	Order int    `json:"order"`
+}
+
+func (s *Service) handleExperiments(w http.ResponseWriter, _ *http.Request) {
+	all := experiments.All()
+	infos := make([]ExperimentInfo, len(all))
+	for i, e := range all {
+		infos[i] = ExperimentInfo{Name: e.Name, Desc: e.Desc, Order: e.Order}
+	}
+	writeJSON(w, http.StatusOK, infos)
+}
+
+// StatsResponse is the body of GET /v1/stats.
+type StatsResponse struct {
+	PlanStore    StoreStats `json:"plan_store"`
+	SessionStore StoreStats `json:"session_store"`
+	// Computations is how many plan-and-simulate runs actually executed;
+	// Deduplicated is how many requests shared an in-flight one.
+	Computations int64 `json:"computations"`
+	Deduplicated int64 `json:"deduplicated"`
+	// CostModel aggregates lancet.CostStats over every pooled session
+	// plus the retired tally of evicted ones (monotonic across scrapes).
+	CostModel CostModelStats `json:"cost_model"`
+}
+
+// CostModelStats aggregates the sessions' cost-model memoization counters.
+type CostModelStats struct {
+	Hits        int64   `json:"hits"`
+	Misses      int64   `json:"misses"`
+	ProfiledOps int64   `json:"profiled_ops"`
+	HitRate     float64 `json:"hit_rate"`
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// Stats snapshots the service's counters.
+func (s *Service) Stats() StatsResponse {
+	resp := StatsResponse{
+		PlanStore:    s.plans.stats(),
+		SessionStore: s.sessions.stats(),
+		Computations: s.computations.Load(),
+		Deduplicated: s.planFlight.dedupedCount(),
+	}
+	// Pooled sessions plus the retired tally, read in one cut under the
+	// store's lock (onEvict moves counters between the two under the same
+	// lock), so pool churn never makes the counters go backwards between
+	// scrapes.
+	s.sessions.withValues(func(pooled []*lancet.Session) {
+		resp.CostModel.Hits = s.retiredCost.hits.Load()
+		resp.CostModel.Misses = s.retiredCost.misses.Load()
+		resp.CostModel.ProfiledOps = s.retiredCost.profiled.Load()
+		for _, sess := range pooled {
+			cs := sess.CostStats()
+			resp.CostModel.Hits += cs.Hits
+			resp.CostModel.Misses += cs.Misses
+			resp.CostModel.ProfiledOps += cs.ProfiledOps
+		}
+	})
+	if total := resp.CostModel.Hits + resp.CostModel.Misses; total > 0 {
+		resp.CostModel.HitRate = float64(resp.CostModel.Hits) / float64(total)
+	}
+	return resp
+}

@@ -1,0 +1,67 @@
+package service
+
+import (
+	"errors"
+	"sync"
+)
+
+// flightGroup deduplicates concurrent calls with the same key: the first
+// caller (leader) runs fn, everyone else arriving before it finishes blocks
+// and shares the leader's outcome. A minimal reimplementation of
+// golang.org/x/sync/singleflight — this module deliberately has no
+// dependencies outside the standard library.
+type flightGroup[V any] struct {
+	mu      sync.Mutex
+	calls   map[string]*flightCall[V]
+	deduped int64 // callers that shared a leader's in-flight computation
+}
+
+type flightCall[V any] struct {
+	wg  sync.WaitGroup
+	val V
+	err error
+}
+
+// do runs fn once per in-flight key. The second return reports whether this
+// caller shared another caller's computation.
+func (g *flightGroup[V]) do(key string, fn func() (V, error)) (V, error, bool) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*flightCall[V])
+	}
+	if c, ok := g.calls[key]; ok {
+		g.deduped++
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, c.err, true
+	}
+	c := &flightCall[V]{}
+	c.wg.Add(1)
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	// Cleanup must run even if fn panics (net/http recovers handler
+	// panics, so the server would live on with waiters blocked forever and
+	// the key wedged). Waiters see an error; the panic still propagates.
+	finished := false
+	defer func() {
+		if !finished {
+			c.err = errors.New("singleflight: leader panicked")
+		}
+		c.wg.Done()
+		g.mu.Lock()
+		delete(g.calls, key)
+		g.mu.Unlock()
+	}()
+	c.val, c.err = fn()
+	finished = true
+	return c.val, c.err, false
+}
+
+// dedupedCount reports how many callers were served by sharing an in-flight
+// computation.
+func (g *flightGroup[V]) dedupedCount() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.deduped
+}

@@ -10,8 +10,8 @@
 //
 // Because no GPU cluster is available, hardware is substituted with a
 // calibrated analytic cost model and a discrete-event two-stream execution
-// simulator (see DESIGN.md); the compiler passes themselves are faithful to
-// the paper's algorithms.
+// simulator (see DESIGN.md §3); the compiler passes themselves are faithful
+// to the paper's algorithms.
 //
 // Typical use:
 //
@@ -24,6 +24,7 @@ package lancet
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 	"sync"
 	"time"
 
@@ -71,6 +72,60 @@ const (
 	FrameworkFasterMoE = "fastermoe"
 	FrameworkLancet    = "lancet"
 )
+
+// Frameworks lists every framework name accepted by Session.Baseline and
+// ParseFramework, in the paper's comparison order with Lancet last.
+func Frameworks() []string {
+	return []string{FrameworkDeepSpeed, FrameworkRAF, FrameworkTutel, FrameworkFasterMoE, FrameworkLancet}
+}
+
+// ParseFramework normalizes a user-supplied framework name, erroring on
+// unknown values so CLIs and the serving layer can reject typos before any
+// session is built.
+func ParseFramework(name string) (string, error) {
+	n := strings.ToLower(strings.TrimSpace(name))
+	for _, fw := range Frameworks() {
+		if n == fw {
+			return fw, nil
+		}
+	}
+	return "", fmt.Errorf("lancet: unknown framework %q (want %s)", name, strings.Join(Frameworks(), ", "))
+}
+
+// ParseModel resolves a user-facing model name — "gpt2-s", "gpt2-l",
+// "vit-s", a common alias, or a config's full Name (so echoed service
+// requests are re-submittable) — to its benchmark configuration; batch
+// follows the GPT2SMoE convention (<= 0 selects the paper's default).
+func ParseModel(name string, batch int) (ModelConfig, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "gpt2-s", "s", "small", "gpt2-s-moe":
+		return GPT2SMoE(batch), nil
+	case "gpt2-l", "l", "large", "gpt2-l-moe":
+		return GPT2LMoE(batch), nil
+	case "vit-s", "vit", "vit-s-moe":
+		return ViTSMoE(batch), nil
+	}
+	return ModelConfig{}, fmt.Errorf("lancet: unknown model %q (want gpt2-s, gpt2-l or vit-s)", name)
+}
+
+// ParseGate resolves a user-facing gate name to its GateKind.
+func ParseGate(name string) (GateKind, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "switch":
+		return GateSwitch, nil
+	case "top2":
+		return GateTop2, nil
+	case "bpr", "batch_prioritized":
+		return GateBatchPriority, nil
+	case "random":
+		return GateRandom, nil
+	case "hash":
+		return GateHash, nil
+	case "expert_choice", "ec":
+		return GateExpertChoice, nil
+	}
+	return 0, fmt.Errorf("lancet: unknown gate %q (want switch, top2, bpr, random, hash or expert_choice)", name)
+}
 
 // GPT2SMoE returns the small benchmark model with the paper's per-GPU batch
 // size for the given GPU type inferred later by NewSession; pass batch <= 0
@@ -144,6 +199,13 @@ type Options struct {
 
 // Session holds a model instance built for a cluster, ready to be planned
 // by Lancet or by the baseline frameworks.
+//
+// A Session is safe for concurrent use once built: plans may be computed
+// and simulated from multiple goroutines (the routing-profile cache is the
+// only mutable state and it is mutex-guarded; the shared cost model is
+// lock-striped). This is what lets cmd/lancet plan frameworks in parallel
+// and lets the serving layer (cmd/lancet-serve) pool sessions across
+// requests. WorkloadSkew must be set before the first plan or profile.
 type Session struct {
 	Config  ModelConfig
 	Cluster Cluster
@@ -197,7 +259,9 @@ func NewSession(cfg ModelConfig, cluster Cluster) (*Session, error) {
 }
 
 // Plan is an executable schedule: a rewritten graph plus the cost model it
-// should run under.
+// should run under. A Plan is immutable after planning and safe to share
+// across goroutines; Simulate, PredictUs and ChromeTrace may be called
+// concurrently.
 type Plan struct {
 	Name        string
 	Framework   string
@@ -227,6 +291,17 @@ type Plan struct {
 	spec     baselines.Spec
 	overlaps bool // uses Lancet's irregular all-to-all implementation
 }
+
+// CostStats is a snapshot of a cost model's memoization counters,
+// re-exported from the internal cost package for observability surfaces
+// like lancet-serve's /v1/stats.
+type CostStats = cost.CacheStats
+
+// CostStats reports the memoization counters of the session's shared RAF
+// cost model — the model Lancet plans, predictions and the partition DP
+// price against. Baseline plans build private cost models whose counters
+// are not included here.
+func (s *Session) CostStats() CostStats { return s.costRAF.Stats() }
 
 // Lancet runs both optimization passes and returns the optimized plan.
 func (s *Session) Lancet(opts Options) (*Plan, error) {
@@ -330,7 +405,8 @@ func (s *Session) autoGroupUs() float64 {
 }
 
 // Baseline plans the model under one of the comparison frameworks:
-// FrameworkDeepSpeed, FrameworkRAF or FrameworkTutel.
+// FrameworkDeepSpeed, FrameworkRAF, FrameworkTutel or FrameworkFasterMoE.
+// Passing FrameworkLancet delegates to Lancet with default Options.
 func (s *Session) Baseline(framework string) (*Plan, error) {
 	var spec baselines.Spec
 	switch framework {

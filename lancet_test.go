@@ -2,9 +2,39 @@ package lancet
 
 import (
 	"encoding/json"
+	"fmt"
 	"math"
 	"testing"
 )
+
+// ExampleNewSession builds a session for the paper's default configuration
+// and reports what was instantiated. A non-positive batch selects the
+// paper's per-GPU batch size for the cluster's GPU type.
+func ExampleNewSession() {
+	sess, err := NewSession(GPT2SMoE(0), MustCluster("V100", 16))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("batch %d, %d experts, capacity %d\n",
+		sess.Config.BatchPerGPU, sess.Built.TotalExperts, sess.Built.CapacityC)
+	// Output: batch 16, 32 experts, capacity 320
+}
+
+// ExampleSession_Baseline plans the model under a comparison framework.
+// Tutel searches its all-to-all overlap degree over {1, 2, 4, 8} using the
+// deterministic predictor, so the chosen degree is stable.
+func ExampleSession_Baseline() {
+	sess, err := NewSession(GPT2SMoE(0), MustCluster("V100", 16))
+	if err != nil {
+		panic(err)
+	}
+	plan, err := sess.Baseline(FrameworkTutel)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s picked overlap degree %d\n", plan.Name, plan.TutelDegree)
+	// Output: Tutel picked overlap degree 2
+}
 
 func newTestSession(t *testing.T) *Session {
 	t.Helper()
