@@ -36,7 +36,8 @@ func main() {
 		shared    = flag.Bool("shared", false, "add a shared expert to every MoE layer")
 		zero3     = flag.Bool("zero3", false, "shard replicated parameters FSDP-style")
 		prio      = flag.Bool("prio", false, "run the all-to-all prioritization pass")
-		skew      = flag.Float64("skew", 0, "Zipf skew of expert popularity (0 = balanced)")
+		skew      = flag.Float64("skew", 0, "Zipf skew of expert popularity (0 = balanced); planning and simulation both price the skewed traffic")
+		hot       = flag.Float64("hot", 0, "fraction of tokens biased toward one hot expert (0 = balanced, exclusive with -skew)")
 		parallel  = flag.Int("parallel", runtime.NumCPU(), "framework planning/simulation worker-pool size")
 		jsonOut   = flag.Bool("json", false, "emit the comparison as JSON instead of a table")
 	)
@@ -65,11 +66,18 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *skew < 0 || *hot < 0 || *hot >= 1 {
+		log.Fatalf("invalid workload: -skew %g (want >= 0), -hot %g (want [0, 1))", *skew, *hot)
+	}
+	if *skew > 0 && *hot > 0 {
+		log.Fatal("-skew and -hot are exclusive; pick one routing shape")
+	}
 	sess, err := lancet.NewSession(cfg, cluster)
 	if err != nil {
 		log.Fatal(err)
 	}
 	sess.WorkloadSkew = *skew
+	sess.WorkloadHotExpert = *hot
 
 	frameworks := []string{lancet.FrameworkDeepSpeed, lancet.FrameworkRAF, lancet.FrameworkTutel, lancet.FrameworkLancet}
 	results := make([]fwResult, len(frameworks))

@@ -210,6 +210,92 @@ func TestFasterMoEBaselineGainsUnderSkew(t *testing.T) {
 	}
 }
 
+func TestSkewPlannedBeatsUniformPlanned(t *testing.T) {
+	// The acceptance bar of skew-aware planning: under Zipf routing, the
+	// plan priced on the real traffic matrix must beat the plan priced on a
+	// uniform matrix of the same routed volume, replayed in the same
+	// skewed simulation. Averaged over seeds so per-op jitter cannot flip
+	// the comparison.
+	for _, alpha := range []float64{1.0, 2.0} {
+		sess, err := NewSession(GPT2SMoE(0), MustCluster("V100", 16))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess.WorkloadSkew = alpha
+		blind, err := sess.Lancet(Options{AssumeUniformRouting: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		aware, err := sess.Lancet(Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := blind.SimulateN(5, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ra, err := aware.SimulateN(5, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ra.MeanMs >= rb.MeanMs {
+			t.Errorf("alpha=%g: skew-planned %.2f ms should beat uniform-planned %.2f ms",
+				alpha, ra.MeanMs, rb.MeanMs)
+		}
+		// The replayed irregular durations must be visible in the breakdown.
+		if ra.MeanReport.IrregularA2AMs <= 0 {
+			t.Error("skewed replay should report irregular a2a time")
+		}
+	}
+
+	// Balanced workloads: the ablation is a no-op and both plans coincide.
+	sess, err := NewSession(GPT2SMoE(0), MustCluster("V100", 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blind, err := sess.Lancet(Options{AssumeUniformRouting: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aware, err := sess.Lancet(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, a := blind.MustSimulate(2).IterationMs, aware.MustSimulate(2).IterationMs
+	if b != a {
+		t.Errorf("balanced: uniform-planned %.3f ms must equal default %.3f ms", b, a)
+	}
+}
+
+func TestHotExpertWorkloadEndToEnd(t *testing.T) {
+	sess, err := NewSession(GPT2SMoE(0), MustCluster("V100", 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.WorkloadHotExpert = 0.5
+	prof, err := sess.RoutingProfile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof == nil {
+		t.Fatal("hot-expert workload must produce a routing profile")
+	}
+	// Capacity caps how hot the functional gate can run (overflow drops),
+	// so the ceiling is well below the requested 0.5 — but the ingress
+	// share must still clearly exceed the uniform 1/16.
+	if share := prof.MaxIngressShare(); share < 2.0/16 {
+		t.Errorf("hot-expert ingress share %.3f, want at least double the uniform 1/16", share)
+	}
+	plan, err := sess.Lancet(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := plan.MustSimulate(1)
+	if r.IrregularA2AMs <= 0 {
+		t.Error("hot-expert replay should report irregular a2a time")
+	}
+}
+
 func TestViTClassifierEndToEnd(t *testing.T) {
 	sess, err := NewSession(ViTSMoE(0), MustCluster("A100", 16))
 	if err != nil {

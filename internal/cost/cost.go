@@ -28,6 +28,7 @@ import (
 
 	"lancet/internal/hw"
 	"lancet/internal/ir"
+	"lancet/internal/netsim"
 )
 
 // cacheShards stripes the memoization maps so concurrent predictions from
@@ -71,6 +72,7 @@ type Model struct {
 
 	profiles [cacheShards]shard[profileKey]
 	comms    [cacheShards]shard[commKey]
+	skewed   [cacheShards]shard[skewKey]
 
 	profiled atomic.Int64 // ground-truth profiles taken (profile-cache misses)
 	hits     atomic.Int64 // memoized predictions served (both caches)
@@ -116,6 +118,19 @@ func (k profileKey) shard() uint64 {
 
 func (k commKey) shard() uint64 {
 	return fnvMix(int64(k.op), k.bytes, int64(k.devices)) % cacheShards
+}
+
+// skewKey memoizes skew-aware all-to-all prices on the exact payload and
+// the routing profile's content fingerprint, so the partition DP's repeated
+// queries under one workload pay the link-level simulation once per
+// distinct micro-payload.
+type skewKey struct {
+	bytes int64
+	fp    uint64
+}
+
+func (k skewKey) shard() uint64 {
+	return fnvMix(k.bytes, int64(k.fp)) % cacheShards
 }
 
 type commPoint struct {
@@ -421,6 +436,58 @@ func (m *Model) groundCommUs(op ir.OpKind, bytes int64, devices int) float64 {
 		return m.groundAllGatherUs(bytes, devices)
 	}
 	panic(fmt.Sprintf("cost: not a communication op: %v", op))
+}
+
+// ValidateProfile reports whether a routing profile is shaped for this
+// model's cluster. Callers that hand profiles into hot paths (the partition
+// DP, the simulator replay) should validate once up front; AllToAllSkewedUs
+// panics on a mismatched profile the same way PredictComm panics on a
+// non-communication op.
+func (m *Model) ValidateProfile(prof *netsim.RoutingProfile) error {
+	if prof == nil {
+		return nil
+	}
+	if g := m.Cluster.TotalGPUs(); prof.Devices() != g {
+		return fmt.Errorf("cost: routing profile is shaped for %d devices, cluster has %d",
+			prof.Devices(), g)
+	}
+	return nil
+}
+
+// AllToAllSkewedUs prices an all-to-all whose per-pair traffic follows the
+// routing profile instead of the uniform split, by draining the profile's
+// transfer matrix (scaled to a mean payload of bytesPerDevice) on the
+// link-level network simulator — the skew-aware path of DESIGN.md §10. A
+// nil profile falls back to the closed-form uniform model, and a uniform
+// profile reproduces the closed form within tolerance (the equivalence the
+// tests pin), so callers can thread one code path for both workloads.
+// Results are memoized on (bytes, profile fingerprint) like every other
+// prediction.
+func (m *Model) AllToAllSkewedUs(bytesPerDevice int64, prof *netsim.RoutingProfile) float64 {
+	if prof == nil {
+		return m.groundAllToAllUs(bytesPerDevice, m.Cluster.TotalGPUs())
+	}
+	if err := m.ValidateProfile(prof); err != nil {
+		panic(err.Error())
+	}
+	if bytesPerDevice <= 0 {
+		return 0
+	}
+	key := skewKey{bytes: bytesPerDevice, fp: prof.Fingerprint()}
+	s := &m.skewed[key.shard()]
+	if t, ok := s.get(key); ok {
+		m.hits.Add(1)
+		return t
+	}
+	t, err := netsim.New(m.Cluster).AllToAllUs(prof.Matrix(bytesPerDevice))
+	if err != nil {
+		// A validated profile emits a square, non-negative matrix; anything
+		// else is a programming error, not a workload property.
+		panic(fmt.Sprintf("cost: netsim rejected a profile matrix: %v", err))
+	}
+	s.put(key, t)
+	m.misses.Add(1)
+	return t
 }
 
 // IrregularA2AUs prices the two-phase irregular all-to-all of paper Fig. 10:

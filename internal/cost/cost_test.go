@@ -7,6 +7,7 @@ import (
 
 	"lancet/internal/hw"
 	"lancet/internal/ir"
+	"lancet/internal/netsim"
 )
 
 func newTestModel() *Model { return NewModel(hw.V100Cluster(2)) }
@@ -347,4 +348,86 @@ func TestAllGatherCheaperThanAllReduce(t *testing.T) {
 	if m.groundAllGatherUs(0, g) != 0 || m.groundAllGatherUs(bytes, 1) != 0 {
 		t.Error("degenerate all-gathers should be free")
 	}
+}
+
+func TestAllToAllSkewedUniformEquivalence(t *testing.T) {
+	m := newTestModel()
+	g := m.Cluster.TotalGPUs()
+	uni := netsim.UniformProfile(g)
+	// The documented guarantee: pricing a *uniform* routing profile through
+	// the link-level simulator reproduces the closed-form uniform all-to-all
+	// within tolerance, across sizes spanning the small-message ramp.
+	for _, bytes := range []int64{64 << 10, 256 << 10, 1 << 20, 16 << 20, 256 << 20} {
+		skewPath := m.AllToAllSkewedUs(bytes, uni)
+		closed := m.groundAllToAllUs(bytes, g)
+		if rel := math.Abs(skewPath-closed) / closed; rel > 0.02 {
+			t.Errorf("bytes=%d: skew path %v us vs closed form %v us (%.2f%% apart)",
+				bytes, skewPath, closed, rel*100)
+		}
+	}
+}
+
+func TestAllToAllSkewedNilProfileIsClosedForm(t *testing.T) {
+	m := newTestModel()
+	bytes := int64(16 << 20)
+	if got, want := m.AllToAllSkewedUs(bytes, nil), m.groundAllToAllUs(bytes, m.Cluster.TotalGPUs()); got != want {
+		t.Errorf("nil profile = %v, want closed form %v", got, want)
+	}
+}
+
+func TestAllToAllSkewedHotterIsSlower(t *testing.T) {
+	m := newTestModel()
+	g := m.Cluster.TotalGPUs()
+	bytes := int64(32 << 20)
+	uni := m.AllToAllSkewedUs(bytes, netsim.UniformProfile(g))
+	prev := uni
+	for _, alpha := range []float64{0.5, 1.0, 2.0} {
+		cur := m.AllToAllSkewedUs(bytes, netsim.ZipfProfile(g, alpha))
+		if cur < prev {
+			t.Errorf("alpha=%g: %v us, want monotone >= %v us", alpha, cur, prev)
+		}
+		prev = cur
+	}
+	if prev <= uni*1.5 {
+		t.Errorf("Zipf(2) a2a %v us should be much slower than uniform %v us", prev, uni)
+	}
+}
+
+func TestAllToAllSkewedMemoized(t *testing.T) {
+	m := newTestModel()
+	prof := netsim.ZipfProfile(m.Cluster.TotalGPUs(), 1.2)
+	first := m.AllToAllSkewedUs(8<<20, prof)
+	before := m.Stats()
+	second := m.AllToAllSkewedUs(8<<20, prof)
+	after := m.Stats()
+	if first != second {
+		t.Errorf("memoized value changed: %v vs %v", first, second)
+	}
+	if after.Hits != before.Hits+1 || after.Misses != before.Misses {
+		t.Errorf("second call should be a cache hit: %+v -> %+v", before, after)
+	}
+	// A different profile with the same payload must not share the entry.
+	other := m.AllToAllSkewedUs(8<<20, netsim.ZipfProfile(m.Cluster.TotalGPUs(), 2.0))
+	if other == first {
+		t.Error("distinct profiles must not collide in the cache")
+	}
+}
+
+func TestValidateProfile(t *testing.T) {
+	m := newTestModel()
+	if err := m.ValidateProfile(nil); err != nil {
+		t.Errorf("nil profile should validate: %v", err)
+	}
+	if err := m.ValidateProfile(netsim.UniformProfile(m.Cluster.TotalGPUs())); err != nil {
+		t.Errorf("matching profile should validate: %v", err)
+	}
+	if err := m.ValidateProfile(netsim.UniformProfile(4)); err == nil {
+		t.Error("mismatched device count must not validate")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("AllToAllSkewedUs must panic on a mismatched profile")
+		}
+	}()
+	m.AllToAllSkewedUs(1<<20, netsim.UniformProfile(4))
 }

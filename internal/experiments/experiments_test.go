@@ -297,3 +297,22 @@ func TestWriteMarkdown(t *testing.T) {
 		}
 	}
 }
+
+func TestSkewPlanningAwareWins(t *testing.T) {
+	tab, err := SkewPlanning(Params{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, row := range tab.Rows {
+		blind, aware := parseF(t, row[1]), parseF(t, row[2])
+		// The acceptance bar: under Zipf routing the skew-planned
+		// configuration beats the uniform-planned one.
+		if aware >= blind {
+			t.Errorf("alpha %s: skew-planned %.1f ms should beat uniform-planned %.1f ms",
+				row[0], aware, blind)
+		}
+	}
+}

@@ -132,6 +132,11 @@ func ClusterForGPUs(gpuType string, gpus int) (Cluster, error) {
 		return Cluster{}, fmt.Errorf("hw: invalid GPU count %d", gpus)
 	}
 	if gpus < node.GPUsPerNode {
+		// A partial node keeps the full node's *per-GPU* NIC share: scale
+		// the node NIC budget to the GPUs actually present instead of
+		// dividing the whole budget among fewer GPUs, which would inflate
+		// per-GPU inter-node bandwidth for small experiments.
+		node.NIC.BandwidthGbps *= float64(gpus) / float64(node.GPUsPerNode)
 		node.GPUsPerNode = gpus
 		return NewCluster(gpuType, 1, node), nil
 	}

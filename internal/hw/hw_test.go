@@ -60,6 +60,27 @@ func TestPerGPUNICBandwidth(t *testing.T) {
 	}
 }
 
+func TestPartialNodeKeepsPerGPUNICShare(t *testing.T) {
+	// A single partial node must not divide the full node's NIC budget among
+	// fewer GPUs: the per-GPU inter-node bandwidth stays the full-node share.
+	for _, gpuType := range []string{"V100", "A100"} {
+		full, err := ClusterForGPUs(gpuType, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, gpus := range []int{1, 2, 4, 7} {
+			partial, err := ClusterForGPUs(gpuType, gpus)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := partial.PerGPUNICGBs(), full.PerGPUNICGBs(); !closeTo(got, want) {
+				t.Errorf("%s %d-GPU partial node per-GPU NIC = %v GB/s, want full-node share %v",
+					gpuType, gpus, got, want)
+			}
+		}
+	}
+}
+
 func TestSameNode(t *testing.T) {
 	c := V100Cluster(2)
 	if !c.SameNode(0, 7) {

@@ -1,0 +1,37 @@
+package moe
+
+import "lancet/internal/tensor"
+
+// HotExpertInputs builds token batches where roughly the fraction hotShare
+// of every device's tokens is biased toward a single hot expert (global
+// expert 0) and the rest routes like a balanced random workload. It is the
+// single-hot-spot companion to SkewedInputs' Zipf tail: the device hosting
+// expert 0 becomes a pure ingress bottleneck, the scenario FasterMoE's
+// expert shadowing — and Lancet's skew-aware planning (DESIGN.md §10) —
+// target. hotShare <= 0 reproduces the balanced workload.
+func HotExpertInputs(l *Layer, tokens int, hotShare float64, seed int64) []*tensor.Tensor {
+	cfg := l.Cfg
+	rng := newSplitmixRand(uint64(seed))
+	xs := make([]*tensor.Tensor, cfg.Devices)
+	e := cfg.TotalExperts()
+	for d := range xs {
+		x := tensor.New(tokens, cfg.Hidden)
+		for i := 0; i < tokens; i++ {
+			row := x.Row(i)
+			for j := range row {
+				row[j] = float32(rng.norm())
+			}
+			if hotShare <= 0 || rng.float() >= hotShare {
+				continue
+			}
+			// Push the token toward the hot expert's gate direction (the
+			// first column of GateW), the same biasing SkewedInputs applies
+			// per Zipf-sampled target.
+			for j := range row {
+				row[j] += l.GateW.Data[j*e] * 100
+			}
+		}
+		xs[d] = x
+	}
+	return xs
+}

@@ -1,0 +1,38 @@
+package moe
+
+import "testing"
+
+func TestHotExpertInputsConcentrateLoad(t *testing.T) {
+	l, err := NewLayer(Config{Devices: 8, ExpertsPerDevice: 2, Capacity: 64, Hidden: 16, FFN: 16}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	share := func(hot float64) float64 {
+		xs := HotExpertInputs(l, 64, hot, 7)
+		_, stats := l.RouteOnly(xs, SwitchGate{}, 1)
+		return stats.HottestExpertShare()
+	}
+	balanced, hot := share(0), share(0.6)
+	if hot < balanced*2 {
+		t.Errorf("hot-expert workload share %.3f should far exceed balanced %.3f", hot, balanced)
+	}
+	if hot < 0.4 {
+		t.Errorf("hot-expert share %.3f, want near the requested 0.6", hot)
+	}
+}
+
+func TestHotExpertInputsDeterministic(t *testing.T) {
+	l, err := NewLayer(Config{Devices: 4, ExpertsPerDevice: 1, Capacity: 16, Hidden: 8, FFN: 8}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := HotExpertInputs(l, 16, 0.5, 5)
+	b := HotExpertInputs(l, 16, 0.5, 5)
+	for d := range a {
+		for i, v := range a[d].Data {
+			if b[d].Data[i] != v {
+				t.Fatalf("device %d element %d differs", d, i)
+			}
+		}
+	}
+}

@@ -80,30 +80,64 @@ func (n *Network) AllToAllUs(sizes [][]int64) (float64, error) {
 
 // UniformMatrix builds the transfer matrix of a balanced all-to-all where
 // every device spreads bytesPerDevice evenly across all devices (the padded
-// dispatch pattern).
+// dispatch pattern). The self slice stays local, so each source transfers
+// exactly bytesPerDevice*(devices-1)/devices over the network: the diagonal
+// is zero and the integer remainder is distributed deterministically over
+// the first destinations instead of being dropped.
 func UniformMatrix(devices int, bytesPerDevice int64) [][]int64 {
 	m := make([][]int64, devices)
-	per := bytesPerDevice / int64(devices)
 	for src := range m {
 		m[src] = make([]int64, devices)
+		if devices == 1 || bytesPerDevice <= 0 {
+			continue
+		}
+		send := bytesPerDevice * int64(devices-1) / int64(devices)
+		per := send / int64(devices-1)
+		rem := send % int64(devices-1)
+		given := int64(0)
 		for dst := range m[src] {
-			m[src][dst] = per
+			if dst == src {
+				continue
+			}
+			b := per
+			if given < rem {
+				b++
+			}
+			given++
+			m[src][dst] = b
 		}
 	}
 	return m
 }
 
 // ScaleCounts converts a token-count matrix (from the functional MoE
-// runtime) into a byte matrix at perTokenBytes, scaled by factor.
-func ScaleCounts(counts [][]int, perTokenBytes int64, factor float64) [][]int64 {
-	m := make([][]int64, len(counts))
+// runtime) into a byte matrix at perTokenBytes, scaled by factor. Each
+// entry is rounded to the nearest byte rather than truncated, and the
+// inputs are validated up front (square matrix, non-negative counts and
+// scales) so a malformed matrix fails here instead of surfacing later as a
+// confusing index error in AllToAllUs.
+func ScaleCounts(counts [][]int, perTokenBytes int64, factor float64) ([][]int64, error) {
+	if perTokenBytes < 0 {
+		return nil, fmt.Errorf("netsim: negative perTokenBytes %d", perTokenBytes)
+	}
+	if factor < 0 || math.IsNaN(factor) || math.IsInf(factor, 0) {
+		return nil, fmt.Errorf("netsim: invalid scale factor %g", factor)
+	}
+	n := len(counts)
+	m := make([][]int64, n)
 	for src := range counts {
-		m[src] = make([]int64, len(counts[src]))
+		if len(counts[src]) != n {
+			return nil, fmt.Errorf("netsim: row %d has %d entries for %d rows", src, len(counts[src]), n)
+		}
+		m[src] = make([]int64, n)
 		for dst, c := range counts[src] {
-			m[src][dst] = int64(float64(c) * factor * float64(perTokenBytes))
+			if c < 0 {
+				return nil, fmt.Errorf("netsim: negative count at [%d][%d]", src, dst)
+			}
+			m[src][dst] = int64(math.Round(float64(c) * factor * float64(perTokenBytes)))
 		}
 	}
-	return m
+	return m, nil
 }
 
 // effBW mirrors the closed-form model's small-message ramp so the two

@@ -1,4 +1,7 @@
-package netsim
+// External test package: these tests price netsim against the closed-form
+// cost model, and cost itself imports netsim for AllToAllSkewedUs — an
+// in-package test would be an import cycle.
+package netsim_test
 
 import (
 	"math"
@@ -8,37 +11,81 @@ import (
 	"lancet/internal/cost"
 	"lancet/internal/hw"
 	"lancet/internal/ir"
+	"lancet/internal/netsim"
 )
 
 func TestUniformAgreesWithClosedForm(t *testing.T) {
 	cl := hw.V100Cluster(2)
-	n := New(cl)
+	n := netsim.New(cl)
 	cm := cost.NewModel(cl)
-	for _, bytes := range []int64{1 << 20, 16 << 20, 64 << 20} {
-		got, err := n.AllToAllUs(UniformMatrix(cl.TotalGPUs(), bytes))
+	// Sizes deliberately span the 256 KiB small-message bandwidth ramp that
+	// effBW models on both sides: well below, around, and well above it.
+	for _, bytes := range []int64{64 << 10, 256 << 10, 1 << 20, 16 << 20, 64 << 20, 256 << 20} {
+		got, err := n.AllToAllUs(netsim.UniformMatrix(cl.TotalGPUs(), bytes))
 		if err != nil {
 			t.Fatal(err)
 		}
 		want := cm.ActualInstr(&ir.Instr{Op: ir.OpAllToAll, Bytes: bytes, CommDevices: cl.TotalGPUs()})
-		if rel := math.Abs(got-want) / want; rel > 0.10 {
+		if rel := math.Abs(got-want) / want; rel > 0.02 {
 			t.Errorf("bytes=%d: netsim %v us vs closed-form %v us (%.1f%% apart)",
 				bytes, got, want, rel*100)
 		}
 	}
 }
 
+func TestUniformMatrixExactSemantics(t *testing.T) {
+	for _, tc := range []struct {
+		devices int
+		bytes   int64
+	}{{16, 1 << 20}, {16, (1 << 20) + 7}, {3, 100}, {7, 999983}, {1, 1 << 20}, {4, 0}} {
+		m := netsim.UniformMatrix(tc.devices, tc.bytes)
+		wantPerSrc := int64(0)
+		if tc.devices > 1 && tc.bytes > 0 {
+			wantPerSrc = tc.bytes * int64(tc.devices-1) / int64(tc.devices)
+		}
+		for src := range m {
+			if m[src][src] != 0 {
+				t.Errorf("d=%d b=%d: diagonal [%d][%d] = %d, want 0",
+					tc.devices, tc.bytes, src, src, m[src][src])
+			}
+			var rowSum, lo, hi int64
+			lo = math.MaxInt64
+			for dst, b := range m[src] {
+				if dst == src {
+					continue
+				}
+				rowSum += b
+				if b < lo {
+					lo = b
+				}
+				if b > hi {
+					hi = b
+				}
+			}
+			if rowSum != wantPerSrc {
+				t.Errorf("d=%d b=%d: src %d transfers %d bytes, want exactly %d",
+					tc.devices, tc.bytes, src, rowSum, wantPerSrc)
+			}
+			if tc.devices > 1 && hi-lo > 1 {
+				t.Errorf("d=%d b=%d: src %d payload spread %d..%d, want near-even",
+					tc.devices, tc.bytes, src, lo, hi)
+			}
+		}
+	}
+}
+
 func TestHotDeviceSlowsCompletion(t *testing.T) {
 	cl := hw.V100Cluster(2)
-	n := New(cl)
+	n := netsim.New(cl)
 	g := cl.TotalGPUs()
-	uniform := UniformMatrix(g, 16<<20)
+	uniform := netsim.UniformMatrix(g, 16<<20)
 	tU, err := n.AllToAllUs(uniform)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Same total volume, but half of every device's traffic targets device
 	// 8 (on the other node for src < 8): a pure ingress hotspot.
-	hot := UniformMatrix(g, 16<<20)
+	hot := netsim.UniformMatrix(g, 16<<20)
 	for src := range hot {
 		moved := int64(0)
 		for dst := range hot[src] {
@@ -62,21 +109,21 @@ func TestHotDeviceSlowsCompletion(t *testing.T) {
 
 func TestEmptyAndErrors(t *testing.T) {
 	cl := hw.V100Cluster(2)
-	n := New(cl)
+	n := netsim.New(cl)
 	g := cl.TotalGPUs()
-	zero := UniformMatrix(g, 0)
+	zero := netsim.UniformMatrix(g, 0)
 	if got, err := n.AllToAllUs(zero); err != nil || got != 0 {
 		t.Errorf("empty a2a = %v, %v; want 0, nil", got, err)
 	}
-	if _, err := n.AllToAllUs(UniformMatrix(4, 1<<20)); err == nil {
+	if _, err := n.AllToAllUs(netsim.UniformMatrix(4, 1<<20)); err == nil {
 		t.Error("wrong matrix size must error")
 	}
-	bad := UniformMatrix(g, 1<<20)
+	bad := netsim.UniformMatrix(g, 1<<20)
 	bad[0][1] = -5
 	if _, err := n.AllToAllUs(bad); err == nil {
 		t.Error("negative payload must error")
 	}
-	ragged := UniformMatrix(g, 1<<20)
+	ragged := netsim.UniformMatrix(g, 1<<20)
 	ragged[3] = ragged[3][:4]
 	if _, err := n.AllToAllUs(ragged); err == nil {
 		t.Error("ragged matrix must error")
@@ -84,20 +131,110 @@ func TestEmptyAndErrors(t *testing.T) {
 }
 
 func TestScaleCounts(t *testing.T) {
-	counts := [][]int{{0, 2}, {3, 0}}
-	m := ScaleCounts(counts, 100, 0.5)
-	if m[0][1] != 100 || m[1][0] != 150 || m[0][0] != 0 {
+	counts := [][]int{{0, 3}, {3, 0}}
+	m, err := netsim.ScaleCounts(counts, 100, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m[0][1] != 150 || m[1][0] != 150 || m[0][0] != 0 {
 		t.Errorf("ScaleCounts = %v", m)
+	}
+	// Fractional bytes round to nearest instead of truncating toward zero.
+	m, err = netsim.ScaleCounts([][]int{{0, 1}, {1, 0}}, 1, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m[0][1] != 1 {
+		t.Errorf("0.75 bytes rounded to %d, want 1", m[0][1])
+	}
+}
+
+func TestScaleCountsValidates(t *testing.T) {
+	if _, err := netsim.ScaleCounts([][]int{{0, 1}, {1}}, 4, 1); err == nil {
+		t.Error("ragged counts must error")
+	}
+	if _, err := netsim.ScaleCounts([][]int{{0, -1}, {1, 0}}, 4, 1); err == nil {
+		t.Error("negative count must error")
+	}
+	if _, err := netsim.ScaleCounts([][]int{{0, 1}, {1, 0}}, -4, 1); err == nil {
+		t.Error("negative perTokenBytes must error")
+	}
+	if _, err := netsim.ScaleCounts([][]int{{0, 1}, {1, 0}}, 4, -1); err == nil {
+		t.Error("negative factor must error")
+	}
+	if _, err := netsim.ScaleCounts([][]int{{0, 1}, {1, 0}}, 4, math.NaN()); err == nil {
+		t.Error("NaN factor must error")
+	}
+}
+
+func TestRoutingProfiles(t *testing.T) {
+	const d = 16
+	uni := netsim.UniformProfile(d)
+	if uni.Devices() != d {
+		t.Fatalf("Devices() = %d", uni.Devices())
+	}
+	if z := netsim.ZipfProfile(d, 0); z.Fingerprint() != uni.Fingerprint() {
+		t.Error("Zipf alpha=0 must equal the uniform profile")
+	}
+	if netsim.ZipfProfile(d, 1.5).Fingerprint() == uni.Fingerprint() {
+		t.Error("skewed profile must fingerprint differently from uniform")
+	}
+	// Ingress concentration orders as expected.
+	u, z, h := uni.MaxIngressShare(), netsim.ZipfProfile(d, 1.5).MaxIngressShare(),
+		netsim.HotExpertProfile(d, 0.6).MaxIngressShare()
+	if !(u < z && u < h) {
+		t.Errorf("ingress shares: uniform %.3f, zipf %.3f, hot %.3f", u, z, h)
+	}
+	if h < 0.55 {
+		t.Errorf("hot-expert profile ingress share %.3f, want ~0.6", h)
+	}
+
+	// A uniform profile's matrix matches UniformMatrix up to rounding.
+	bytes := int64(8 << 20)
+	pm, um := uni.Matrix(bytes), netsim.UniformMatrix(d, bytes)
+	for src := range pm {
+		for dst := range pm[src] {
+			if diff := pm[src][dst] - um[src][dst]; diff > 1 || diff < -1 {
+				t.Fatalf("uniform profile matrix[%d][%d]=%d vs UniformMatrix %d",
+					src, dst, pm[src][dst], um[src][dst])
+			}
+		}
+	}
+}
+
+func TestProfileFromCounts(t *testing.T) {
+	if _, err := netsim.ProfileFromCounts(nil); err == nil {
+		t.Error("empty counts must error")
+	}
+	if _, err := netsim.ProfileFromCounts([][]int{{0, 1}, {1}}); err == nil {
+		t.Error("ragged counts must error")
+	}
+	if _, err := netsim.ProfileFromCounts([][]int{{0, -1}, {0, 0}}); err == nil {
+		t.Error("negative counts must error")
+	}
+	if _, err := netsim.ProfileFromCounts([][]int{{0, 0}, {0, 0}}); err == nil {
+		t.Error("all-zero counts must error")
+	}
+	p, err := netsim.ProfileFromCounts([][]int{{2, 2}, {2, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := netsim.ProfileFromCounts([][]int{{2, 2}, {2, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Fingerprint() != q.Fingerprint() {
+		t.Error("identical counts must share a fingerprint")
 	}
 }
 
 // Property: completion time is monotone under adding traffic.
 func TestMonotoneUnderTrafficProperty(t *testing.T) {
 	cl := hw.V100Cluster(2)
-	n := New(cl)
+	n := netsim.New(cl)
 	g := cl.TotalGPUs()
 	f := func(src, dst uint8, extra uint32) bool {
-		m := UniformMatrix(g, 8<<20)
+		m := netsim.UniformMatrix(g, 8<<20)
 		base, err := n.AllToAllUs(m)
 		if err != nil {
 			return false
@@ -122,11 +259,11 @@ func TestMonotoneUnderTrafficProperty(t *testing.T) {
 // unchanged (intra-node symmetry).
 func TestIntraNodeSymmetryProperty(t *testing.T) {
 	cl := hw.V100Cluster(2)
-	n := New(cl)
+	n := netsim.New(cl)
 	g := cl.TotalGPUs()
 	f := func(a, b uint8) bool {
 		x, y := int(a)%8, int(b)%8 // both on node 0
-		m := UniformMatrix(g, 8<<20)
+		m := netsim.UniformMatrix(g, 8<<20)
 		m[0][5] += 12345 // some asymmetry elsewhere
 		t1, err := n.AllToAllUs(m)
 		if err != nil {
@@ -149,8 +286,8 @@ func TestIntraNodeSymmetryProperty(t *testing.T) {
 }
 
 func BenchmarkAllToAllMatrix(b *testing.B) {
-	n := New(hw.V100Cluster(8))
-	m := UniformMatrix(64, 16<<20)
+	n := netsim.New(hw.V100Cluster(8))
+	m := netsim.UniformMatrix(64, 16<<20)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := n.AllToAllUs(m); err != nil {

@@ -1,0 +1,195 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+)
+
+// profileResolution is the per-pair weight the parametric generators scale
+// to: large enough that rounded integer histograms keep three significant
+// digits of a Zipf tail, small enough that fingerprinting stays cheap.
+const profileResolution = 100000
+
+// RoutingProfile is a per-pair token-count histogram describing how one
+// all-to-all's traffic distributes over (source, destination) device pairs
+// (see DESIGN.md §10). It is the currency of skew-aware planning: produced
+// either by functionally routing a batch through an MoE gate (the aggregate
+// send matrix of internal/moe) or by a parametric generator (Uniform, Zipf,
+// HotExpert), and consumed everywhere all-to-all traffic is priced — the
+// cost model's AllToAllSkewedUs, the partition DP and the simulator replay.
+//
+// Only the *shape* of the histogram matters: Matrix rescales it to a target
+// payload, so profiles from a small proxy batch price full-size transfers.
+// Diagonal entries are the self-share that never touches the network; they
+// participate in normalization (a device's slice for its own experts stays
+// local, exactly like the closed-form uniform model's bytes/devices slice)
+// but are zeroed in the emitted transfer matrix.
+type RoutingProfile struct {
+	counts [][]int64
+	total  int64
+	fp     uint64
+}
+
+// ProfileFromCounts builds a profile from a token-count send matrix, e.g.
+// the Stats.SendTokens aggregate of a functional gate run. The matrix must
+// be square, non-negative and carry at least one token.
+func ProfileFromCounts(counts [][]int) (*RoutingProfile, error) {
+	n := len(counts)
+	if n == 0 {
+		return nil, fmt.Errorf("netsim: empty routing profile")
+	}
+	c := make([][]int64, n)
+	total := int64(0)
+	for src := range counts {
+		if len(counts[src]) != n {
+			return nil, fmt.Errorf("netsim: profile row %d has %d entries for %d rows", src, len(counts[src]), n)
+		}
+		c[src] = make([]int64, n)
+		for dst, v := range counts[src] {
+			if v < 0 {
+				return nil, fmt.Errorf("netsim: negative profile count at [%d][%d]", src, dst)
+			}
+			c[src][dst] = int64(v)
+			total += int64(v)
+		}
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("netsim: routing profile has no tokens")
+	}
+	return newProfile(c, total), nil
+}
+
+// UniformProfile is the balanced histogram: every source spreads its tokens
+// evenly over all destinations (self-share included, matching the padded
+// dispatch pattern). Pricing it through netsim reproduces the closed-form
+// uniform cost model within tolerance — the equivalence the cost package
+// pins with a test.
+func UniformProfile(devices int) *RoutingProfile {
+	return weightedProfile(devices, func(int) float64 { return 1 })
+}
+
+// ZipfProfile skews destination popularity with a Zipf law: the share of
+// every source's tokens headed for device d is proportional to
+// 1/(d+1)^alpha. alpha = 0 reproduces UniformProfile; larger values
+// concentrate ingress on low-index devices — the hot-expert bottleneck a
+// uniform model cannot see.
+func ZipfProfile(devices int, alpha float64) *RoutingProfile {
+	return weightedProfile(devices, func(d int) float64 {
+		return 1 / math.Pow(float64(d+1), alpha)
+	})
+}
+
+// HotExpertProfile routes the fraction hotShare of every source's tokens to
+// the device hosting the hot expert (device 0) and spreads the rest evenly
+// over the remaining devices.
+func HotExpertProfile(devices int, hotShare float64) *RoutingProfile {
+	if devices == 1 {
+		return UniformProfile(1)
+	}
+	rest := (1 - hotShare) / float64(devices-1)
+	return weightedProfile(devices, func(d int) float64 {
+		if d == 0 {
+			return hotShare
+		}
+		return rest
+	})
+}
+
+// weightedProfile builds a profile where every source distributes its
+// tokens over destinations proportionally to weight(dst).
+func weightedProfile(devices int, weight func(dst int) float64) *RoutingProfile {
+	row := make([]int64, devices)
+	maxW := 0.0
+	for d := 0; d < devices; d++ {
+		if w := weight(d); w > maxW {
+			maxW = w
+		}
+	}
+	rowTotal := int64(0)
+	for d := 0; d < devices; d++ {
+		row[d] = int64(math.Round(weight(d) / maxW * profileResolution))
+		rowTotal += row[d]
+	}
+	c := make([][]int64, devices)
+	for src := range c {
+		c[src] = append([]int64(nil), row...)
+	}
+	return newProfile(c, rowTotal*int64(devices))
+}
+
+func newProfile(counts [][]int64, total int64) *RoutingProfile {
+	p := &RoutingProfile{counts: counts, total: total}
+	h := uint64(14695981039346656037)
+	mix := func(v int64) {
+		h ^= uint64(v)
+		h *= 1099511628211
+	}
+	mix(int64(len(counts)))
+	for _, row := range counts {
+		for _, v := range row {
+			mix(v)
+		}
+	}
+	p.fp = h
+	return p
+}
+
+// Devices is the device count the histogram is shaped for.
+func (p *RoutingProfile) Devices() int { return len(p.counts) }
+
+// Fingerprint is an FNV-1a hash of the histogram, stable across runs for
+// identical counts — the memoization key component of AllToAllSkewedUs.
+func (p *RoutingProfile) Fingerprint() uint64 { return p.fp }
+
+// Matrix scales the histogram to a transfer matrix whose mean per-device
+// payload is meanBytesPerDevice: entry (src, dst) carries the histogram's
+// share of meanBytesPerDevice*devices total bytes, rounded, with the
+// diagonal (self-traffic) zeroed. A uniform profile therefore yields the
+// same matrix as UniformMatrix up to rounding.
+func (p *RoutingProfile) Matrix(meanBytesPerDevice int64) [][]int64 {
+	d := len(p.counts)
+	scale := float64(meanBytesPerDevice) * float64(d) / float64(p.total)
+	m := make([][]int64, d)
+	for src := range m {
+		m[src] = make([]int64, d)
+		if meanBytesPerDevice <= 0 {
+			continue
+		}
+		for dst, c := range p.counts[src] {
+			if src == dst {
+				continue
+			}
+			m[src][dst] = int64(math.Round(float64(c) * scale))
+		}
+	}
+	return m
+}
+
+// MaxIngressShare is the largest fraction of total traffic any single
+// device receives (diagonal excluded) — 1/devices-ish for balanced
+// profiles, approaching the hot share under concentration. Useful for
+// tests and diagnostics.
+func (p *RoutingProfile) MaxIngressShare() float64 {
+	d := len(p.counts)
+	in := make([]int64, d)
+	total := int64(0)
+	for src := range p.counts {
+		for dst, c := range p.counts[src] {
+			if src == dst {
+				continue
+			}
+			in[dst] += c
+			total += c
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	max := int64(0)
+	for _, v := range in {
+		if v > max {
+			max = v
+		}
+	}
+	return float64(max) / float64(total)
+}

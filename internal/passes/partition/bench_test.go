@@ -54,7 +54,7 @@ func BenchmarkPipelineCost(b *testing.B) {
 	asg := inferAxes(built.Graph, window, true)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		pipelineCost(built.Graph, cm, window, asg, 4)
+		pipelineCost(built.Graph, cm, window, asg, 4, nil, 1)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"lancet/internal/cost"
 	"lancet/internal/ir"
+	"lancet/internal/netsim"
 )
 
 // Options configures the pass. The three knobs mirror the paper's
@@ -26,6 +27,22 @@ type Options struct {
 	// decide routing from partial batches (Switch: yes; Batch Prioritized
 	// Routing: no). It bounds how far pipelines may extend (Sec. 2.3).
 	GatePartialBatch bool
+	// Profile is the active routing profile (DESIGN.md §10). When non-nil,
+	// every all-to-all the DP prices — serial windows and partitioned
+	// micro-collectives alike — is costed on the link-level network
+	// simulator under this traffic shape instead of the closed-form uniform
+	// model, so the chosen partition counts adapt to hot-expert traffic.
+	// Must be shaped for the cost model's cluster; nil keeps the uniform
+	// pricing.
+	Profile *netsim.RoutingProfile
+	// PayloadFraction is the fraction of the padded all-to-all payload the
+	// profiled workload actually routes (tokens dropped by capacity and
+	// padding shed by the irregular exchange). It scales the bytes priced
+	// under Profile, and the result is capped at the padded closed form —
+	// the same two bounds the simulator's replay applies — so the DP
+	// optimizes the quantity the simulation will charge. 0 means 1 (full
+	// padded payload).
+	PayloadFraction float64
 }
 
 func (o *Options) fillDefaults() {
@@ -37,6 +54,9 @@ func (o *Options) fillDefaults() {
 	}
 	if o.MaxRangeGroups == 0 {
 		o.MaxRangeGroups = 12
+	}
+	if o.PayloadFraction <= 0 || o.PayloadFraction > 1 {
+		o.PayloadFraction = 1
 	}
 }
 
@@ -67,6 +87,9 @@ type Result struct {
 // Run executes the operator partition pass.
 func Run(g *ir.Graph, cm *cost.Model, opts Options) (*Result, error) {
 	opts.fillDefaults()
+	if err := cm.ValidateProfile(opts.Profile); err != nil {
+		return nil, fmt.Errorf("partition: %w", err)
+	}
 
 	// The forward pass is the program prefix; everything after is
 	// backward/optimizer and is handled by the dW scheduling pass.
@@ -85,7 +108,7 @@ func Run(g *ir.Graph, cm *cost.Model, opts Options) (*Result, error) {
 	// sweep's millions of repeated queries.
 	prefix := make([]float64, fwdEnd+1)
 	for i := 0; i < fwdEnd; i++ {
-		prefix[i+1] = prefix[i] + cm.PredictInstr(g.Instr(i))
+		prefix[i+1] = prefix[i] + predictInstr(cm, g.Instr(i), opts.Profile, opts.PayloadFraction)
 	}
 	bounds := makeGroups(prefix, opts.GroupUs)
 	n := len(bounds) - 1 // number of groups
@@ -125,7 +148,7 @@ func Run(g *ir.Graph, cm *cost.Model, opts Options) (*Result, error) {
 				kmax = m
 			}
 			for k := 2; k <= kmax; k++ {
-				p := pipelineCost(g, cm, window, asg, k)
+				p := pipelineCost(g, cm, window, asg, k, opts.Profile, opts.PayloadFraction)
 				res.Evaluations++
 				if t := T[i] + p; t < T[j] {
 					T[j] = t

@@ -167,14 +167,14 @@ func TestPipelineCostShape(t *testing.T) {
 	if asg == nil {
 		t.Fatal("window not partitionable")
 	}
-	serial := serialCost(cm, w)
-	p2 := pipelineCost(b.Graph, cm, w, asg, 2)
+	serial := serialCost(cm, w, nil, 1)
+	p2 := pipelineCost(b.Graph, cm, w, asg, 2, nil, 1)
 	if p2 >= serial {
 		t.Errorf("k=2 pipeline (%v us) should beat serial (%v us)", p2, serial)
 	}
 	// Extreme partitioning pays launch overhead: cost grows again.
-	p2x := pipelineCost(b.Graph, cm, w, asg, 2)
-	pBig := pipelineCost(b.Graph, cm, w, asg, 64)
+	p2x := pipelineCost(b.Graph, cm, w, asg, 2, nil, 1)
+	pBig := pipelineCost(b.Graph, cm, w, asg, 64, nil, 1)
 	if pBig <= p2x {
 		t.Errorf("k=64 (%v us) should cost more than k=2 (%v us)", pBig, p2x)
 	}

@@ -3,7 +3,34 @@ package partition
 import (
 	"lancet/internal/cost"
 	"lancet/internal/ir"
+	"lancet/internal/netsim"
 )
+
+// predictInstr prices one instruction under the active routing profile:
+// all-to-alls under a non-nil profile go to the link-level simulator
+// (memoized in the cost model), everything else — and every op under
+// uniform routing — keeps the closed-form prediction path.
+func predictInstr(cm *cost.Model, in *ir.Instr, prof *netsim.RoutingProfile, frac float64) float64 {
+	if prof != nil && in.Op == ir.OpAllToAll {
+		return a2aProfiledUs(cm, in, 1, prof, frac)
+	}
+	return cm.PredictInstr(in)
+}
+
+// a2aProfiledUs prices one micro all-to-all (1/k of the instruction's
+// payload) under the routing profile, mirroring the simulator's replay
+// bounds: the link-level price of the actually-routed share of the
+// payload, capped at the padded closed form (capacity caps every
+// (source, expert) pair, so an irregular exchange can never exceed the
+// padded one on any link).
+func a2aProfiledUs(cm *cost.Model, in *ir.Instr, k int, prof *netsim.RoutingProfile, frac float64) float64 {
+	routed := int64(float64(in.Bytes/int64(k)) * frac)
+	t := cm.AllToAllSkewedUs(routed, prof)
+	if padded := cm.PredictA2APartitioned(in.Bytes, in.CommDevices, k); t > padded {
+		t = padded
+	}
+	return t
+}
 
 // stageOf assigns each window position to a pipeline stage: a stage is a
 // maximal run of instructions that execute consecutively on the same stream
@@ -49,11 +76,16 @@ func schedulePlan(window []*ir.Instr, k int) []instanceRef {
 }
 
 // instanceDur prices one micro-partition of an op. All-to-alls use the
-// paper's static-shape approximation (query the profiled table at C/n);
-// compute ops are re-profiled at 1/k of their work, which captures kernel
-// launch overhead and SM under-utilization of small kernels.
-func instanceDur(cm *cost.Model, in *ir.Instr, k int) float64 {
+// paper's static-shape approximation (query the profiled table at C/n —
+// or, under a routing profile, the link-level simulator at C/n with the
+// same traffic shape); compute ops are re-profiled at 1/k of their work,
+// which captures kernel launch overhead and SM under-utilization of small
+// kernels.
+func instanceDur(cm *cost.Model, in *ir.Instr, k int, prof *netsim.RoutingProfile, frac float64) float64 {
 	if in.Op == ir.OpAllToAll {
+		if prof != nil {
+			return a2aProfiledUs(cm, in, k, prof, frac)
+		}
 		return cm.PredictA2APartitioned(in.Bytes, in.CommDevices, k)
 	}
 	c := ir.CopyInstr(in)
@@ -111,7 +143,7 @@ func boundaryCostUs(g *ir.Graph, cm *cost.Model, window []*ir.Instr, asg Assignm
 // end-to-end time of the partitioned window (Sec. 5.3). Each instance's
 // start time is the maximum of (i) the end of the instances it depends on
 // and (ii) the end of the previous instance on its stream.
-func pipelineCost(g *ir.Graph, cm *cost.Model, window []*ir.Instr, asg Assignment, k int) float64 {
+func pipelineCost(g *ir.Graph, cm *cost.Model, window []*ir.Instr, asg Assignment, k int, prof *netsim.RoutingProfile, frac float64) float64 {
 	// Window-local dependency edges (by position).
 	posOf := make(map[int]int, len(window))
 	for i, in := range window {
@@ -127,7 +159,7 @@ func pipelineCost(g *ir.Graph, cm *cost.Model, window []*ir.Instr, asg Assignmen
 	}
 	durs := make([]float64, len(window))
 	for i, in := range window {
-		durs[i] = instanceDur(cm, in, k)
+		durs[i] = instanceDur(cm, in, k, prof, frac)
 	}
 
 	end := make([][]float64, len(window))
@@ -159,11 +191,12 @@ func pipelineCost(g *ir.Graph, cm *cost.Model, window []*ir.Instr, asg Assignmen
 }
 
 // serialCost is the unpartitioned execution time of the window: the plain
-// sum of operator times (the forward pass is a dependency chain).
-func serialCost(cm *cost.Model, window []*ir.Instr) float64 {
+// sum of operator times (the forward pass is a dependency chain), priced
+// under the active routing profile.
+func serialCost(cm *cost.Model, window []*ir.Instr, prof *netsim.RoutingProfile, frac float64) float64 {
 	total := 0.0
 	for _, in := range window {
-		total += cm.PredictInstr(in)
+		total += predictInstr(cm, in, prof, frac)
 	}
 	return total
 }

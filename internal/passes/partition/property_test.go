@@ -89,16 +89,16 @@ func TestPipelineCostLowerBound(t *testing.T) {
 	window := b.Graph.Instrs[h.Gate : h.Gather+1]
 	asg := inferAxes(b.Graph, window, true)
 	for k := 2; k <= 8; k *= 2 {
-		p := pipelineCost(b.Graph, cm, window, asg, k)
+		p := pipelineCost(b.Graph, cm, window, asg, k, nil, 1)
 		// One partition's chain: every op at 1/k size, run serially.
 		chain := 0.0
 		for _, in := range window {
-			chain += instanceDur(cm, in, k)
+			chain += instanceDur(cm, in, k, nil, 1)
 		}
 		if p < chain-1e-6 {
 			t.Errorf("k=%d: pipeline %v us below single-chain critical path %v us", k, p, chain)
 		}
-		serial := serialCost(cm, window)
+		serial := serialCost(cm, window, nil, 1)
 		if p > float64(k)*serial {
 			t.Errorf("k=%d: pipeline %v us exceeds fully serialized %v us", k, p, float64(k)*serial)
 		}

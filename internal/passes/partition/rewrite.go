@@ -218,7 +218,7 @@ func InferAxes(g *ir.Graph, window []*ir.Instr, gatePartialBatch bool) Assignmen
 }
 
 // PipelinePredictUs exposes the pipeline scheduler's P(i,n,k) estimate for
-// an externally constructed window.
+// an externally constructed window, priced under uniform routing.
 func PipelinePredictUs(g *ir.Graph, cm *cost.Model, window []*ir.Instr, asg Assignment, k int) float64 {
-	return pipelineCost(g, cm, window, asg, k)
+	return pipelineCost(g, cm, window, asg, k, nil, 1)
 }

@@ -10,6 +10,7 @@ package service
 
 import (
 	"fmt"
+	"strings"
 
 	"lancet"
 )
@@ -68,8 +69,16 @@ func Compute(sess *lancet.Session, fw string, seed int64, opts lancet.Options) (
 		// Deliberately no wall-clock here: a Result must be deterministic in
 		// its inputs so cached and freshly computed responses are
 		// byte-identical.
-		res.Notes = fmt.Sprintf("%d pipelines, dW overlap %.1f ms, rho %d",
-			plan.PipelineRanges, plan.DWOverlapUs/1000, plan.RhoUsed)
+		ks := ""
+		if len(plan.PipelineKs) > 0 {
+			parts := make([]string, len(plan.PipelineKs))
+			for i, k := range plan.PipelineKs {
+				parts[i] = fmt.Sprint(k)
+			}
+			ks = fmt.Sprintf(" (k %s)", strings.Join(parts, ","))
+		}
+		res.Notes = fmt.Sprintf("%d pipelines%s, dW overlap %.1f ms, rho %d",
+			plan.PipelineRanges, ks, plan.DWOverlapUs/1000, plan.RhoUsed)
 	}
 	return res, nil
 }

@@ -17,18 +17,95 @@ type PlanOptions struct {
 	DisablePartition   bool    `json:"disable_partition,omitempty"`
 	DWFirstFit         bool    `json:"dw_first_fit,omitempty"`
 	PrioritizeAllToAll bool    `json:"prioritize_all_to_all,omitempty"`
+	// AssumeUniformRouting plans as if the routed traffic were uniformly
+	// distributed — the skew-blind ablation of DESIGN.md §10.
+	AssumeUniformRouting bool `json:"assume_uniform_routing,omitempty"`
 }
 
 func (o PlanOptions) toLancet() lancet.Options {
 	return lancet.Options{
-		MaxPartitions:      o.MaxPartitions,
-		GroupUs:            o.GroupUs,
-		MaxRangeGroups:     o.MaxRangeGroups,
-		DisableDWSchedule:  o.DisableDWSchedule,
-		DisablePartition:   o.DisablePartition,
-		DWFirstFit:         o.DWFirstFit,
-		PrioritizeAllToAll: o.PrioritizeAllToAll,
+		MaxPartitions:        o.MaxPartitions,
+		GroupUs:              o.GroupUs,
+		MaxRangeGroups:       o.MaxRangeGroups,
+		DisableDWSchedule:    o.DisableDWSchedule,
+		DisablePartition:     o.DisablePartition,
+		DWFirstFit:           o.DWFirstFit,
+		PrioritizeAllToAll:   o.PrioritizeAllToAll,
+		AssumeUniformRouting: o.AssumeUniformRouting,
 	}
+}
+
+// RoutingSpec selects the workload's routing shape for /v1/plan and
+// /v1/sweep (DESIGN.md §10): "uniform" (the default balanced workload),
+// "zipf" with exponent Alpha, or "hot" with the hot expert's token share.
+// It canonicalizes into both cache keys, so skewed and uniform requests
+// never share a session or plan entry.
+type RoutingSpec struct {
+	Kind     string  `json:"kind"`
+	Alpha    float64 `json:"alpha,omitempty"`
+	HotShare float64 `json:"hot_share,omitempty"`
+}
+
+// Routing kinds accepted by RoutingSpec.
+const (
+	RoutingUniform = "uniform"
+	RoutingZipf    = "zipf"
+	RoutingHot     = "hot"
+)
+
+// normalizeRouting resolves the routing field against the legacy Skew
+// shorthand and validates kind-specific parameters. The zero value means
+// uniform.
+func normalizeRouting(r *RoutingSpec, skew float64) (RoutingSpec, error) {
+	if skew < 0 {
+		return RoutingSpec{}, fmt.Errorf("skew must be non-negative, got %g", skew)
+	}
+	if r == nil {
+		if skew > 0 {
+			return RoutingSpec{Kind: RoutingZipf, Alpha: skew}, nil
+		}
+		return RoutingSpec{Kind: RoutingUniform}, nil
+	}
+	if skew != 0 {
+		return RoutingSpec{}, fmt.Errorf("specify either skew or routing, not both")
+	}
+	spec := RoutingSpec{Kind: strings.ToLower(strings.TrimSpace(r.Kind)), Alpha: r.Alpha, HotShare: r.HotShare}
+	switch spec.Kind {
+	case "", RoutingUniform:
+		spec.Kind = RoutingUniform
+		if spec.Alpha != 0 || spec.HotShare != 0 {
+			return RoutingSpec{}, fmt.Errorf("uniform routing takes no alpha or hot_share")
+		}
+	case RoutingZipf:
+		if spec.Alpha <= 0 {
+			return RoutingSpec{}, fmt.Errorf("zipf routing needs alpha > 0, got %g", spec.Alpha)
+		}
+		if spec.HotShare != 0 {
+			return RoutingSpec{}, fmt.Errorf("zipf routing takes no hot_share")
+		}
+	case RoutingHot:
+		if spec.HotShare <= 0 || spec.HotShare >= 1 {
+			return RoutingSpec{}, fmt.Errorf("hot routing needs 0 < hot_share < 1, got %g", spec.HotShare)
+		}
+		if spec.Alpha != 0 {
+			return RoutingSpec{}, fmt.Errorf("hot routing takes no alpha")
+		}
+	default:
+		return RoutingSpec{}, fmt.Errorf("unknown routing kind %q (want %s, %s or %s)",
+			r.Kind, RoutingUniform, RoutingZipf, RoutingHot)
+	}
+	return spec, nil
+}
+
+// key is the routing spec's canonical cache-key fragment.
+func (r RoutingSpec) key() string {
+	switch r.Kind {
+	case RoutingZipf:
+		return fmt.Sprintf("zipf(%g)", r.Alpha)
+	case RoutingHot:
+		return fmt.Sprintf("hot(%g)", r.HotShare)
+	}
+	return RoutingUniform
 }
 
 // PlanRequest is the body of POST /v1/plan. Zero values select the same
@@ -47,11 +124,14 @@ type PlanRequest struct {
 	// Seed drives the simulation; nil selects the CLI's default of 1. A
 	// pointer so an explicit 0 — a valid seed the CLI accepts — stays
 	// distinguishable from "unset".
-	Seed         *int64      `json:"seed,omitempty"`
-	Skew         float64     `json:"skew,omitempty"`
-	SharedExpert bool        `json:"shared_expert,omitempty"`
-	ZeRO3        bool        `json:"zero3,omitempty"`
-	Options      PlanOptions `json:"options,omitempty"`
+	Seed *int64 `json:"seed,omitempty"`
+	// Skew is the legacy shorthand for routing {"kind":"zipf","alpha":Skew};
+	// Routing is the full spec. Setting both is a client error.
+	Skew         float64      `json:"skew,omitempty"`
+	Routing      *RoutingSpec `json:"routing,omitempty"`
+	SharedExpert bool         `json:"shared_expert,omitempty"`
+	ZeRO3        bool         `json:"zero3,omitempty"`
+	Options      PlanOptions  `json:"options,omitempty"`
 }
 
 // BaselineNone disables the baseline comparison of /v1/plan.
@@ -68,7 +148,7 @@ type canonical struct {
 	framework   string
 	baseline    string // "" = comparison disabled
 	seed        int64
-	skew        float64
+	routing     RoutingSpec
 	opts        PlanOptions
 }
 
@@ -76,13 +156,15 @@ type canonical struct {
 // returns are client errors (HTTP 400): the uniform early-error treatment
 // -gate and -framework get in the CLIs.
 func (r PlanRequest) canonicalize() (*canonical, error) {
-	c := &canonical{seed: 1, skew: r.Skew, opts: r.Options}
+	c := &canonical{seed: 1, opts: r.Options}
 	if r.Seed != nil {
 		c.seed = *r.Seed
 	}
-	if c.skew < 0 {
-		return nil, fmt.Errorf("skew must be non-negative, got %g", c.skew)
+	routing, err := normalizeRouting(r.Routing, r.Skew)
+	if err != nil {
+		return nil, err
 	}
+	c.routing = routing
 	// Negative knobs would silently disable passes (Session.Lancet only
 	// substitutes defaults for exactly 0); reject them like every other
 	// invalid field.
@@ -163,6 +245,11 @@ func (c *canonical) echo() PlanRequest {
 		baseline = BaselineNone
 	}
 	seed := c.seed
+	var routing *RoutingSpec
+	if c.routing.Kind != RoutingUniform {
+		r := c.routing
+		routing = &r
+	}
 	return PlanRequest{
 		Model:        c.cfg.Name,
 		Cluster:      c.clusterType,
@@ -172,7 +259,7 @@ func (c *canonical) echo() PlanRequest {
 		Framework:    c.framework,
 		Baseline:     baseline,
 		Seed:         &seed,
-		Skew:         c.skew,
+		Routing:      routing,
 		SharedExpert: c.cfg.SharedExpert,
 		ZeRO3:        c.cfg.ZeRO3,
 		Options:      c.opts,
@@ -181,11 +268,13 @@ func (c *canonical) echo() PlanRequest {
 
 // sessionKey identifies the Session a request needs: everything that shapes
 // the built graph and its routing profiles, nothing that only shapes the
-// plan (framework, seed, options).
+// plan (framework, seed, options). The canonical routing fragment keeps
+// skewed and uniform workloads in separate sessions (and, transitively,
+// separate plan-store entries).
 func (c *canonical) sessionKey() string {
-	return fmt.Sprintf("%s|%s|%d|b%d|%s|shared%t|zero3%t|skew%g",
+	return fmt.Sprintf("%s|%s|%d|b%d|%s|shared%t|zero3%t|rt=%s",
 		c.cfg.Name, c.clusterType, c.gpus, c.cfg.BatchPerGPU, c.cfg.Gate,
-		c.cfg.SharedExpert, c.cfg.ZeRO3, c.skew)
+		c.cfg.SharedExpert, c.cfg.ZeRO3, c.routing.key())
 }
 
 // planKey identifies one framework's plan-and-simulate outcome in the plan

@@ -106,7 +106,12 @@ func (s *Service) session(c *canonical) (*lancet.Session, error) {
 		if err != nil {
 			return nil, err
 		}
-		sess.WorkloadSkew = c.skew
+		switch c.routing.Kind {
+		case RoutingZipf:
+			sess.WorkloadSkew = c.routing.Alpha
+		case RoutingHot:
+			sess.WorkloadHotExpert = c.routing.HotShare
+		}
 		s.sessions.put(key, sess)
 		return sess, nil
 	})
@@ -266,12 +271,13 @@ type SweepRequest struct {
 	Gates      []string `json:"gates,omitempty"`
 	Frameworks []string `json:"frameworks,omitempty"`
 
-	Batch        int         `json:"batch,omitempty"`
-	Seed         *int64      `json:"seed,omitempty"`
-	Skew         float64     `json:"skew,omitempty"`
-	SharedExpert bool        `json:"shared_expert,omitempty"`
-	ZeRO3        bool        `json:"zero3,omitempty"`
-	Options      PlanOptions `json:"options,omitempty"`
+	Batch        int          `json:"batch,omitempty"`
+	Seed         *int64       `json:"seed,omitempty"`
+	Skew         float64      `json:"skew,omitempty"`
+	Routing      *RoutingSpec `json:"routing,omitempty"`
+	SharedExpert bool         `json:"shared_expert,omitempty"`
+	ZeRO3        bool         `json:"zero3,omitempty"`
+	Options      PlanOptions  `json:"options,omitempty"`
 }
 
 // SweepItem is one grid point's outcome. Err carries per-point failures
@@ -334,6 +340,7 @@ func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
 							Model: m, Cluster: cl, GPUs: g, Gate: gate,
 							Framework: fw, Baseline: BaselineNone,
 							Batch: req.Batch, Seed: req.Seed, Skew: req.Skew,
+							Routing:      req.Routing,
 							SharedExpert: req.SharedExpert, ZeRO3: req.ZeRO3,
 							Options: req.Options,
 						})

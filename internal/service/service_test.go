@@ -50,6 +50,12 @@ func TestPlanRejectsBadRequests(t *testing.T) {
 		{"unknown cluster", `{"cluster": "H100"}`, "H100"},
 		{"bad gpu count", `{"gpus": 12}`, "12"},
 		{"negative skew", `{"skew": -1}`, "non-negative"},
+		{"skew and routing", `{"skew": 1, "routing": {"kind": "zipf", "alpha": 1}}`, "not both"},
+		{"unknown routing kind", `{"routing": {"kind": "pareto"}}`, "unknown routing kind"},
+		{"zipf without alpha", `{"routing": {"kind": "zipf"}}`, "alpha > 0"},
+		{"zipf with hot share", `{"routing": {"kind": "zipf", "alpha": 1, "hot_share": 0.5}}`, "no hot_share"},
+		{"hot share out of range", `{"routing": {"kind": "hot", "hot_share": 1.5}}`, "hot_share < 1"},
+		{"uniform with params", `{"routing": {"kind": "uniform", "alpha": 2}}`, "no alpha"},
 		{"baseline equals framework", `{"framework": "tutel", "baseline": "tutel"}`, "use baseline"},
 		{"negative options", `{"options": {"max_partitions": -1}}`, "non-negative"},
 		{"oversized body", `{"model": "` + strings.Repeat("x", 1<<20) + `"}`, "too large"},
@@ -129,6 +135,72 @@ func TestPlanCacheHitIsByteIdentical(t *testing.T) {
 	}
 	if !bytes.Equal(first.Body.Bytes(), second.Body.Bytes()) {
 		t.Error("cached response body differs from the fresh one")
+	}
+}
+
+// TestRoutingKeysNeverCollide pins the cache-key canonicalization of
+// DESIGN.md §10: a skewed request must never be served a uniform plan (or
+// vice versa), while equivalent spellings of the same routing share one
+// entry.
+func TestRoutingKeysNeverCollide(t *testing.T) {
+	svc := New(Config{})
+	h := svc.Handler()
+	uniform := postPlan(t, h, fastPlanBody)
+	zipf := postPlan(t, h, `{"framework": "raf", "baseline": "none", "routing": {"kind": "zipf", "alpha": 1.5}}`)
+	hot := postPlan(t, h, `{"framework": "raf", "baseline": "none", "routing": {"kind": "hot", "hot_share": 0.5}}`)
+	for _, w := range []*httptest.ResponseRecorder{uniform, zipf, hot} {
+		if w.Code != http.StatusOK {
+			t.Fatalf("status = %d, body %s", w.Code, w.Body)
+		}
+		if got := w.Header().Get("X-Lancet-Cache"); got != "miss" {
+			t.Errorf("distinct routing should be a fresh computation, got %q", got)
+		}
+	}
+	if n := svc.Computations(); n != 3 {
+		t.Errorf("3 distinct routings ran %d computations, want 3", n)
+	}
+	// The legacy skew shorthand canonicalizes onto the zipf entry.
+	legacy := postPlan(t, h, `{"framework": "raf", "baseline": "none", "skew": 1.5}`)
+	if got := legacy.Header().Get("X-Lancet-Cache"); got != "hit" {
+		t.Errorf("skew shorthand should hit the zipf cache entry, got %q", got)
+	}
+	// The explicit uniform spelling canonicalizes onto the default entry.
+	explicit := postPlan(t, h, `{"framework": "raf", "baseline": "none", "routing": {"kind": "uniform"}}`)
+	if got := explicit.Header().Get("X-Lancet-Cache"); got != "hit" {
+		t.Errorf("explicit uniform should hit the default cache entry, got %q", got)
+	}
+	if n := svc.Computations(); n != 3 {
+		t.Errorf("equivalent spellings recomputed: %d computations, want 3", n)
+	}
+}
+
+// TestRoutingEchoIsResubmittable pins that the echoed canonical request
+// reproduces the same cache entry when posted back.
+func TestRoutingEchoIsResubmittable(t *testing.T) {
+	svc := New(Config{})
+	h := svc.Handler()
+	first := postPlan(t, h, `{"framework": "raf", "baseline": "none", "skew": 2}`)
+	if first.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", first.Code, first.Body)
+	}
+	var resp PlanResponse
+	if err := json.NewDecoder(first.Body).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Request.Routing == nil || resp.Request.Routing.Kind != RoutingZipf ||
+		resp.Request.Routing.Alpha != 2 || resp.Request.Skew != 0 {
+		t.Fatalf("echo should canonicalize skew into routing: %+v", resp.Request)
+	}
+	echoed, err := json.Marshal(resp.Request)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := postPlan(t, h, string(echoed))
+	if second.Code != http.StatusOK {
+		t.Fatalf("resubmitted echo status = %d, body %s", second.Code, second.Body)
+	}
+	if got := second.Header().Get("X-Lancet-Cache"); got != "hit" {
+		t.Errorf("resubmitted echo cache state = %q, want hit", got)
 	}
 }
 

@@ -51,6 +51,13 @@ type Breakdown struct {
 	// NonOverlappedA2AUs is all-to-all busy time not covered by compute —
 	// the quantity Lancet's passes attack specifically.
 	NonOverlappedA2AUs float64
+	// IrregularA2AUs is all-to-all busy time executed with irregular
+	// (override-derived) durations — actual routed payloads or link-level
+	// skewed transfer matrices — rather than the padded closed form. It
+	// makes the skew replay visible in the breakdown: under a hot workload
+	// it converges toward AllToAllUs, under balanced routing it is the
+	// (cheaper) unpadded share.
+	IrregularA2AUs float64
 }
 
 // Timeline is the result of a simulated iteration.
@@ -104,6 +111,7 @@ func (e *Executor) Run(g *ir.Graph, order []int) (*Timeline, error) {
 	var clock [2]float64 // per-stream frontier
 	tl := &Timeline{Spans: make([]Span, 0, len(order))}
 
+	irregularUs := 0.0
 	for _, id := range order {
 		in := g.Instr(id)
 		stream := StreamCompute
@@ -116,29 +124,37 @@ func (e *Executor) Run(g *ir.Graph, order []int) (*Timeline, error) {
 				ready = end[p]
 			}
 		}
-		dur := e.duration(in, rng) * sysScale
+		dur, irregular := e.duration(in, rng)
+		dur *= sysScale
 		span := Span{Instr: id, Stream: stream, StartUs: ready, EndUs: ready + dur}
 		end[id] = span.EndUs
 		clock[stream] = span.EndUs
 		tl.Spans = append(tl.Spans, span)
+		if irregular {
+			irregularUs += dur
+		}
 		if span.EndUs > tl.TotalUs {
 			tl.TotalUs = span.EndUs
 		}
 	}
 	tl.Breakdown = computeBreakdown(g, tl.Spans)
+	tl.IrregularA2AUs = irregularUs
 	return tl, nil
 }
 
-func (e *Executor) duration(in *ir.Instr, rng *rand.Rand) float64 {
+// duration prices one instruction and reports whether an irregular
+// all-to-all path (duration or payload override) supplied it.
+func (e *Executor) duration(in *ir.Instr, rng *rand.Rand) (float64, bool) {
 	var dur float64
 	if in.Op == ir.OpAllToAll && !e.Predict && e.A2ADurOverrideUs != nil {
 		if d, ok := e.A2ADurOverrideUs[in.ID]; ok {
 			if e.JitterPct > 0 {
 				d *= 1 + (rng.Float64()*2-1)*e.JitterPct
 			}
-			return d
+			return d, true
 		}
 	}
+	irregular := false
 	switch {
 	case in.Op == ir.OpAllToAll && e.A2ABytesOverride != nil:
 		if b, ok := e.A2ABytesOverride[in.ID]; ok {
@@ -147,6 +163,7 @@ func (e *Executor) duration(in *ir.Instr, rng *rand.Rand) float64 {
 			} else {
 				dur = e.Cost.IrregularA2AUs(b, in.CommDevices)
 			}
+			irregular = true
 			break
 		}
 		fallthrough
@@ -158,7 +175,7 @@ func (e *Executor) duration(in *ir.Instr, rng *rand.Rand) float64 {
 	if !e.Predict && e.JitterPct > 0 {
 		dur *= 1 + (rng.Float64()*2-1)*e.JitterPct
 	}
-	return dur
+	return dur, irregular
 }
 
 func computeBreakdown(g *ir.Graph, spans []Span) Breakdown {

@@ -195,6 +195,13 @@ type Options struct {
 	// priority pass (paper Sec. 8): gradient all-reduces are pushed behind
 	// the backward all-to-alls they would otherwise head-of-line block.
 	PrioritizeAllToAll bool
+	// AssumeUniformRouting makes the partition DP plan as if the workload's
+	// routed traffic were spread uniformly over device pairs: the planner
+	// still knows the routed payload volume, but not its distribution —
+	// the skew-blind planner ablation (DESIGN.md §10). Simulation still
+	// replays the real skewed traffic, so comparing this plan against the
+	// default quantifies exactly what knowing the traffic *shape* buys.
+	AssumeUniformRouting bool
 }
 
 // Session holds a model instance built for a cluster, ready to be planned
@@ -214,8 +221,15 @@ type Session struct {
 	// WorkloadSkew biases the routing-profile workload toward a few hot
 	// experts (Zipf exponent; 0 = balanced). Skewed routing drops more
 	// tokens and turns the hot expert's device into an ingress bottleneck,
-	// which actual runs price with the link-level network simulator.
+	// which both planning and actual runs price with the link-level network
+	// simulator (DESIGN.md §10).
 	WorkloadSkew float64
+
+	// WorkloadHotExpert biases the workload so roughly this fraction of all
+	// tokens targets one hot expert (0 = balanced; exclusive with
+	// WorkloadSkew, which takes precedence when both are set). It is the
+	// single-hot-spot companion to WorkloadSkew's Zipf tail.
+	WorkloadHotExpert float64
 
 	costRAF *cost.Model
 
@@ -237,6 +251,9 @@ type routingProfile struct {
 	// hotExpertShare is the fraction of routed tokens on the single most
 	// popular expert (drives FasterMoE-style shadowing).
 	hotExpertShare float64
+	// net is the counts histogram packaged for the link-level pricing path
+	// (cost.AllToAllSkewedUs, the partition DP, the simulator replay).
+	net *netsim.RoutingProfile
 }
 
 // NewSession builds the training graph for cfg on the cluster. A
@@ -279,6 +296,9 @@ type Plan struct {
 	// PipelineRanges is the number of partition pipelines chosen by the
 	// DP.
 	PipelineRanges int
+	// PipelineKs lists the chosen per-pipeline partition counts in program
+	// order — the plan shape that shifts under skewed routing.
+	PipelineKs []int
 	// DPEvaluations counts P(i,n,k) evaluations (optimization effort).
 	DPEvaluations int
 	// RhoUsed is the maximum-partition limit actually used after the OOM
@@ -302,6 +322,38 @@ type CostStats = cost.CacheStats
 // price against. Baseline plans build private cost models whose counters
 // are not included here.
 func (s *Session) CostStats() CostStats { return s.costRAF.Stats() }
+
+// skewedWorkload reports whether the session's routing deviates from the
+// balanced workload.
+func (s *Session) skewedWorkload() bool { return s.WorkloadSkew > 0 || s.WorkloadHotExpert > 0 }
+
+// RoutingProfile returns the per-pair traffic histogram of the session's
+// workload, produced by functionally routing a proxy batch through the
+// configured gate (DESIGN.md §10). Balanced workloads return nil: every
+// consumer treats nil as "price with the closed-form uniform model".
+func (s *Session) RoutingProfile() (*netsim.RoutingProfile, error) {
+	prof, _, err := s.routingContext()
+	return prof, err
+}
+
+// routingContext returns the workload's routing profile plus the fraction
+// of the padded all-to-all payload it actually routes — the two inputs the
+// partition DP needs to price all-to-alls the way the simulator will
+// replay them. Balanced workloads return (nil, 1).
+func (s *Session) routingContext() (*netsim.RoutingProfile, float64, error) {
+	if !s.skewedWorkload() {
+		return nil, 1, nil
+	}
+	p, err := s.profile(1)
+	if err != nil {
+		return nil, 0, err
+	}
+	frac := 1.0
+	if len(p.shares) > 0 && p.shares[0] > 0 && p.shares[0] < 1 {
+		frac = p.shares[0]
+	}
+	return p.net, frac, nil
+}
 
 // Lancet runs both optimization passes and returns the optimized plan.
 func (s *Session) Lancet(opts Options) (*Plan, error) {
@@ -342,6 +394,15 @@ func (s *Session) Lancet(opts Options) (*Plan, error) {
 			MaxRangeGroups:   opts.MaxRangeGroups,
 			GatePartialBatch: s.Config.Gate.SupportsPartialBatch(),
 		}
+		prof, frac, err := s.routingContext()
+		if err != nil {
+			return nil, fmt.Errorf("lancet: routing profile: %w", err)
+		}
+		if opts.AssumeUniformRouting && prof != nil {
+			// Keep the routed volume, erase the traffic shape.
+			prof = netsim.UniformProfile(s.Cluster.TotalGPUs())
+		}
+		popts.Profile, popts.PayloadFraction = prof, frac
 		if popts.GroupUs == 0 {
 			popts.GroupUs = s.autoGroupUs()
 		}
@@ -361,6 +422,10 @@ func (s *Session) Lancet(opts Options) (*Plan, error) {
 			if popts.MaxPartitions <= 2 || s.partitionFits(res) {
 				g = res.Graph
 				plan.PipelineRanges = len(res.Ranges)
+				plan.PipelineKs = plan.PipelineKs[:0]
+				for _, r := range res.Ranges {
+					plan.PipelineKs = append(plan.PipelineKs, r.K)
+				}
 				plan.DPEvaluations += res.Evaluations
 				plan.RhoUsed = popts.MaxPartitions
 				break
@@ -496,6 +561,11 @@ type Report struct {
 	ExpertMs           float64
 	CommMs             float64
 	ComputeMs          float64
+	// IrregularA2AMs is the all-to-all time executed with irregular
+	// (routing-derived) durations — the replayed skew traffic for hot
+	// workloads, the unpadded payload for balanced ones. Zero for padded
+	// baselines.
+	IrregularA2AMs float64
 	// OOM propagates the plan's memory verdict.
 	OOM bool
 }
@@ -528,6 +598,7 @@ func (p *Plan) Simulate(seed int64) (*Report, error) {
 		ExpertMs:               tl.ExpertUs / 1000,
 		CommMs:                 tl.CommBusyUs / 1000,
 		ComputeMs:              tl.ComputeBusyUs / 1000,
+		IrregularA2AMs:         tl.IrregularA2AUs / 1000,
 		OOM:                    p.OOM,
 	}, nil
 }
@@ -556,16 +627,18 @@ func (p *Plan) ChromeTrace(seed int64) ([]byte, error) {
 // tokens its micro-batch actually routed (paper Fig. 5c), and even
 // unpartitioned all-to-alls shed their zero padding (Fig. 10). Balanced
 // workloads are priced by payload; skewed workloads additionally price the
-// full transfer matrix on the link-level network simulator, where the hot
-// expert's device bounds completion.
+// routing profile's transfer matrix on the link-level network simulator —
+// through the cost model's memoized AllToAllSkewedUs, so repeated plans and
+// simulations of one session pay each distinct micro-payload once — where
+// the hot expert's device bounds completion (DESIGN.md §10).
 func (s *Session) irregularOverrides(g *ir.Graph) (bytesOv map[int]int64, durOv map[int]float64, err error) {
 	bytesOv = make(map[int]int64)
-	var net *netsim.Network
-	if s.WorkloadSkew > 0 {
+	if s.skewedWorkload() {
 		durOv = make(map[int]float64)
-		net = netsim.New(s.Cluster)
 	}
 	perTokenBytes := int64(s.Config.Hidden) * s.Config.DType.Size()
+	var sizeExchange float64
+	var sizeExchangeDone bool
 	for _, in := range g.Instrs {
 		if in.Op != ir.OpAllToAll {
 			continue
@@ -583,17 +656,23 @@ func (s *Session) irregularOverrides(g *ir.Graph) (bytesOv map[int]int64, durOv 
 			m = len(p.shares) - 1
 		}
 		bytesOv[in.ID] = int64(p.shares[m] * float64(s.Built.A2ABytes))
-		if net != nil && p.devices == s.Cluster.TotalGPUs() {
+		if durOv != nil && p.net != nil && p.devices == s.Cluster.TotalGPUs() {
 			microFrac := 0.0
 			if total := sumf(p.shares); total > 0 {
 				microFrac = p.shares[m] / total
 			}
-			scale := float64(s.Config.TokensPerGPU()) / float64(p.tokens) * microFrac
-			matrix := netsim.ScaleCounts(p.counts, perTokenBytes, scale)
-			t, err := net.AllToAllUs(matrix)
-			if err != nil {
-				return nil, nil, err
+			// The micro a2a moves the profile's traffic shape at a mean
+			// per-device payload of this micro-batch's routed share, scaled
+			// from proxy tokens to the real batch.
+			routedTokens := int64(0)
+			for _, row := range p.counts {
+				for _, c := range row {
+					routedTokens += int64(c)
+				}
 			}
+			scale := float64(s.Config.TokensPerGPU()) / float64(p.tokens) * microFrac
+			meanBytes := int64(scale * float64(routedTokens) * float64(perTokenBytes) / float64(p.devices))
+			t := s.costRAF.AllToAllSkewedUs(meanBytes, p.net)
 			// Capacity caps every (source, expert) pair at C tokens, so an
 			// irregular exchange can never exceed the padded one on any
 			// link; cap at the padded cost to keep the two pricing models
@@ -602,9 +681,12 @@ func (s *Session) irregularOverrides(g *ir.Graph) (bytesOv map[int]int64, durOv 
 			if t > padded {
 				t = padded
 			}
-			sizeExchange, err := net.AllToAllUs(netsim.UniformMatrix(p.devices, int64(p.devices)*4))
-			if err != nil {
-				return nil, nil, err
+			if !sizeExchangeDone {
+				se, err := netsim.New(s.Cluster).AllToAllUs(netsim.UniformMatrix(p.devices, int64(p.devices)*4))
+				if err != nil {
+					return nil, nil, err
+				}
+				sizeExchange, sizeExchangeDone = se, true
 			}
 			durOv[in.ID] = t + sizeExchange
 		}
@@ -630,7 +712,7 @@ func (s *Session) profile(k int) (*routingProfile, error) {
 		return p, nil
 	}
 	devices := s.Cluster.TotalGPUs()
-	if devices > 16 && s.WorkloadSkew == 0 {
+	if devices > 16 && !s.skewedWorkload() {
 		devices = 16 // balanced routing fractions saturate; keep the proxy cheap
 	}
 	tokens := 256
@@ -647,9 +729,12 @@ func (s *Session) profile(k int) (*routingProfile, error) {
 		return nil, err
 	}
 	var inputs []*tensor.Tensor
-	if s.WorkloadSkew > 0 {
+	switch {
+	case s.WorkloadSkew > 0:
 		inputs = moe.SkewedInputs(layer, tokens, s.WorkloadSkew, 777)
-	} else {
+	case s.WorkloadHotExpert > 0:
+		inputs = moe.HotExpertInputs(layer, tokens, s.WorkloadHotExpert, 777)
+	default:
 		inputs = makeProxyInputs(devices, tokens, 16)
 	}
 	_, stats := layer.RouteOnly(inputs, s.gateImpl(), k)
@@ -659,6 +744,13 @@ func (s *Session) profile(k int) (*routingProfile, error) {
 		routed: stats.Routed, dropped: stats.Dropped,
 		counts:         stats.SendTokens,
 		hotExpertShare: stats.HottestExpertShare(),
+	}
+	if s.skewedWorkload() {
+		np, err := netsim.ProfileFromCounts(stats.SendTokens)
+		if err != nil {
+			return nil, fmt.Errorf("lancet: routing profile from gate counts: %w", err)
+		}
+		p.net = np
 	}
 	padded := float64(stats.PaddedTokensPerDevice)
 	for _, row := range stats.MicroSendTokens {

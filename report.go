@@ -45,6 +45,7 @@ func (p *Plan) SimulateN(n int, base int64) (*ReportStats, error) {
 		st.MeanReport.ExpertMs += r.ExpertMs / float64(n)
 		st.MeanReport.CommMs += r.CommMs / float64(n)
 		st.MeanReport.ComputeMs += r.ComputeMs / float64(n)
+		st.MeanReport.IrregularA2AMs += r.IrregularA2AMs / float64(n)
 		st.MeanReport.OOM = r.OOM
 	}
 	st.MeanMs = sum / float64(n)
