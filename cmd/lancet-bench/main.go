@@ -10,6 +10,12 @@
 //	lancet-bench -parallel 8     # fan the suite over 8 workers
 //	lancet-bench -json           # machine-readable results on stdout
 //	lancet-bench -list           # list registered experiments
+//
+// Comparison mode (the CI bench-regression gate) runs no experiments: it
+// diffs two -json documents and exits non-zero when a headline latency
+// regressed beyond the tolerance:
+//
+//	lancet-bench -compare bench_baseline.json -with BENCH_123.json
 package main
 
 import (
@@ -37,8 +43,19 @@ func main() {
 		parallel = flag.Int("parallel", runtime.NumCPU(), "experiment worker-pool size (1 = serial)")
 		jsonOut  = flag.Bool("json", false, "emit results as JSON on stdout instead of markdown")
 		list     = flag.Bool("list", false, "list registered experiments and exit")
+		compare  = flag.String("compare", "", "baseline -json document: compare instead of running the suite")
+		with     = flag.String("with", "", "candidate -json document for -compare")
+		tol      = flag.Float64("tolerance", 0.15, "relative drift allowed by -compare before a latency counts as regressed")
 	)
 	flag.Parse()
+
+	if *compare != "" || *with != "" {
+		if *compare == "" || *with == "" {
+			log.Fatal("-compare and -with must be given together")
+		}
+		runCompare(*compare, *with, *tol)
+		return
+	}
 
 	if *list {
 		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
@@ -88,6 +105,38 @@ func main() {
 	if errs != nil {
 		log.Fatal(errs)
 	}
+}
+
+// runCompare diffs two suite JSON documents and exits non-zero on any
+// regression — the CI bench-regression gate.
+func runCompare(basePath, candPath string, tol float64) {
+	base, err := os.ReadFile(basePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cand, err := os.ReadFile(candPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cmp, err := experiments.CompareBaseline(base, cand, tol)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, line := range cmp.Improvements {
+		fmt.Printf("improved: %s\n", line)
+	}
+	for _, line := range cmp.Regressions {
+		fmt.Printf("REGRESSED: %s\n", line)
+	}
+	if cmp.Cells == 0 {
+		log.Fatal("compared 0 latency cells — baseline and candidate share no tables; the gate would be vacuous")
+	}
+	if n := len(cmp.Regressions); n > 0 {
+		log.Fatalf("%d of %d headline latencies regressed beyond %.0f%% (baseline %s)",
+			n, cmp.Cells, tol*100, basePath)
+	}
+	fmt.Printf("bench gate ok: %d headline latencies within %.0f%% of %s (%d improved)\n",
+		cmp.Cells, tol*100, basePath, len(cmp.Improvements))
 }
 
 // printTimings renders the per-experiment wall-clock column.

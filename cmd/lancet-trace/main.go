@@ -10,8 +10,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 
@@ -21,21 +23,35 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("lancet-trace: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return // -h printed usage; that is not a failure
+		}
+		log.Fatal(err)
+	}
+}
+
+// run is the testable body of the command: flag parsing, planning, trace
+// export. The summary line goes to stdout; errors come back to main.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("lancet-trace", flag.ContinueOnError)
 	var (
-		clusterT  = flag.String("cluster", "V100", "cluster GPU type")
-		gpus      = flag.Int("gpus", 16, "total GPUs")
-		framework = flag.String("framework", "lancet", "deepspeed, raf, tutel, fastermoe or lancet")
-		out       = flag.String("out", "trace.json", "output file")
-		large     = flag.Bool("large", false, "use GPT2-L-MoE instead of GPT2-S-MoE")
+		clusterT  = fs.String("cluster", "V100", "cluster GPU type")
+		gpus      = fs.Int("gpus", 16, "total GPUs")
+		framework = fs.String("framework", "lancet", "deepspeed, raf, tutel, fastermoe or lancet")
+		out       = fs.String("out", "trace.json", "output file")
+		large     = fs.Bool("large", false, "use GPT2-L-MoE instead of GPT2-S-MoE")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	// Validate the framework up front — the same uniform early-error
 	// treatment -gate gets in cmd/lancet — instead of failing after the
 	// session (graph build, routing profiles) has already been paid for.
 	fw, err := lancet.ParseFramework(*framework)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	cfg := lancet.GPT2SMoE(0)
@@ -44,22 +60,23 @@ func main() {
 	}
 	cluster, err := lancet.NewCluster(*clusterT, *gpus)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	sess, err := lancet.NewSession(cfg, cluster)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	plan, err := sess.Baseline(fw)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	data, err := plan.ChromeTrace(1)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("wrote %s (%d instructions, load in chrome://tracing)\n", *out, len(plan.Graph.Instrs))
+	fmt.Fprintf(stdout, "wrote %s (%d instructions, load in chrome://tracing)\n", *out, len(plan.Graph.Instrs))
+	return nil
 }

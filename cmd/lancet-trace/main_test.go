@@ -1,0 +1,117 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestFrameworkValidationFailsEarly mirrors the service handler tests: a
+// typo'd -framework must error before any session is built or file written.
+func TestFrameworkValidationFailsEarly(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "trace.json")
+	var stdout strings.Builder
+	err := run([]string{"-framework", "megatron", "-out", out}, &stdout)
+	if err == nil {
+		t.Fatal("unknown framework must error")
+	}
+	if !strings.Contains(err.Error(), "unknown framework") || !strings.Contains(err.Error(), "megatron") {
+		t.Errorf("error %q should name the unknown framework", err)
+	}
+	if _, statErr := os.Stat(out); !os.IsNotExist(statErr) {
+		t.Error("no trace file may be written on a validation error")
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("no summary line on error, got %q", stdout.String())
+	}
+}
+
+func TestBadClusterAndFlagErrors(t *testing.T) {
+	for name, args := range map[string][]string{
+		"unknown cluster": {"-cluster", "H100"},
+		"bad gpu count":   {"-gpus", "12"},
+		"unknown flag":    {"-frmwork", "lancet"},
+	} {
+		if err := run(append(args, "-out", filepath.Join(t.TempDir(), "t.json")), &strings.Builder{}); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}
+
+// TestTraceHappyPathGolden pins the command's observable output: the stdout
+// summary (including the instruction count, which is deterministic for a
+// fixed configuration) and the structure of the emitted Chrome trace.
+func TestTraceHappyPathGolden(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "tutel.json")
+	var stdout strings.Builder
+	if err := run([]string{"-framework", "tutel", "-gpus", "16", "-out", out}, &stdout); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name     string  `json:"name"`
+			Phase    string  `json:"ph"`
+			Category string  `json:"cat,omitempty"`
+			TS       float64 `json:"ts"`
+			Dur      float64 `json:"dur,omitempty"`
+			TID      int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace is not Chrome trace-event JSON: %v", err)
+	}
+	var spans, comm int
+	for _, e := range doc.TraceEvents {
+		switch e.Phase {
+		case "M": // stream/process metadata
+		case "X":
+			spans++
+			if e.Category == "comm" {
+				comm++
+			}
+			if e.Dur < 0 || e.TS < 0 {
+				t.Errorf("span %q has negative timing (ts %v, dur %v)", e.Name, e.TS, e.Dur)
+			}
+		default:
+			t.Errorf("unexpected event phase %q", e.Phase)
+		}
+	}
+	if spans == 0 || comm == 0 {
+		t.Fatalf("trace has %d spans (%d comm), want both > 0", spans, comm)
+	}
+	// The golden summary line: one instruction span per graph instruction.
+	want := fmt.Sprintf("wrote %s (%d instructions, load in chrome://tracing)\n", out, spans)
+	if stdout.String() != want {
+		t.Errorf("stdout = %q, want %q", stdout.String(), want)
+	}
+	// Re-running the same configuration must reproduce the trace byte for
+	// byte (seeded simulation, no wall-clock in the output).
+	out2 := filepath.Join(t.TempDir(), "tutel2.json")
+	if err := run([]string{"-framework", "tutel", "-gpus", "16", "-out", out2}, &strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	data2, err := os.ReadFile(out2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Error("identical configurations produced different traces")
+	}
+}
+
+func TestHelpIsNotAnError(t *testing.T) {
+	// run returns flag.ErrHelp for -h; main treats it as a clean exit.
+	err := run([]string{"-h"}, &strings.Builder{})
+	if !errors.Is(err, flag.ErrHelp) {
+		t.Errorf("run(-h) = %v, want flag.ErrHelp", err)
+	}
+}

@@ -38,6 +38,8 @@ func main() {
 		prio      = flag.Bool("prio", false, "run the all-to-all prioritization pass")
 		skew      = flag.Float64("skew", 0, "Zipf skew of expert popularity (0 = balanced); planning and simulation both price the skewed traffic")
 		hot       = flag.Float64("hot", 0, "fraction of tokens biased toward one hot expert (0 = balanced, exclusive with -skew)")
+		oversub   = flag.Float64("oversub", 0, "spine oversubscription factor (0/1 = flat non-blocking fabric); planning and simulation both price the hierarchy")
+		racksize  = flag.Int("racksize", 0, "nodes per rack switch (0 with -oversub > 1 = every node its own rack)")
 		parallel  = flag.Int("parallel", runtime.NumCPU(), "framework planning/simulation worker-pool size")
 		jsonOut   = flag.Bool("json", false, "emit the comparison as JSON instead of a table")
 	)
@@ -65,6 +67,13 @@ func main() {
 	cluster, err := lancet.NewCluster(*clusterT, *gpus)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *oversub != 0 || *racksize != 0 {
+		// DefaultRacks: -oversub alone applies to all inter-node traffic.
+		topo := lancet.Topology{NodesPerRack: *racksize, Oversubscription: *oversub}.DefaultRacks()
+		if cluster, err = cluster.WithTopology(topo); err != nil {
+			log.Fatal(err)
+		}
 	}
 	if *skew < 0 || *hot < 0 || *hot >= 1 {
 		log.Fatalf("invalid workload: -skew %g (want >= 0), -hot %g (want [0, 1))", *skew, *hot)

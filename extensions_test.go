@@ -1,6 +1,7 @@
 package lancet
 
 import (
+	"fmt"
 	"testing"
 )
 
@@ -317,5 +318,85 @@ func TestViTClassifierEndToEnd(t *testing.T) {
 	// form.
 	if lan.PipelineRanges == 0 {
 		t.Error("expected pipelines on the vision model")
+	}
+}
+
+func TestTopologyPlannedBeatsFlatPlanned(t *testing.T) {
+	// The acceptance bar of topology-aware planning (DESIGN.md §11): on an
+	// oversubscribed fabric, the plan priced on the real hierarchy must
+	// beat the plan priced flat, replayed in the same hierarchical
+	// simulation. GroupUs is pinned so both planners cut identical DP
+	// groups and only pricing knowledge differs.
+	for _, oversub := range []float64{2, 8} {
+		cluster, err := MustCluster("V100", 16).WithTopology(Topology{NodesPerRack: 1, Oversubscription: oversub})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess, err := NewSession(GPT2SMoE(0), cluster)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blind, err := sess.Lancet(Options{AssumeFlatTopology: true, GroupUs: 1000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		aware, err := sess.Lancet(Options{GroupUs: 1000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := blind.SimulateN(5, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ra, err := aware.SimulateN(5, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ra.MeanMs >= rb.MeanMs {
+			t.Errorf("oversub=%g: topology-planned %.2f ms should beat flat-planned %.2f ms",
+				oversub, ra.MeanMs, rb.MeanMs)
+		}
+		// The blind planner schedules less dW under the all-to-alls it
+		// believes are short.
+		if aware.DWOverlapUs <= blind.DWOverlapUs {
+			t.Errorf("oversub=%g: aware dW overlap %.1f us should exceed blind %.1f us",
+				oversub, aware.DWOverlapUs, blind.DWOverlapUs)
+		}
+		// The replayed tier breakdown attributes the a2a time to the spine.
+		rep := aware.MustSimulate(1)
+		if rep.A2ABoundSpineMs <= 0 {
+			t.Error("oversubscribed replay should report spine-bound a2a time")
+		}
+		if rep.A2ABoundSpineMs < rep.A2ABoundNICMs {
+			t.Errorf("spine bucket %.1f ms should dominate nic bucket %.1f ms on a per-node-rack fabric",
+				rep.A2ABoundSpineMs, rep.A2ABoundNICMs)
+		}
+	}
+}
+
+func TestFlatTopologyPlansUnchanged(t *testing.T) {
+	// On a flat cluster AssumeFlatTopology is a no-op: both options must
+	// produce byte-identical plan shapes and simulated times.
+	sess, err := NewSession(GPT2SMoE(0), MustCluster("V100", 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sess.Lancet(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sess.Lancet(Options{AssumeFlatTopology: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, rb := a.MustSimulate(3), b.MustSimulate(3)
+	if ra.IterationMs != rb.IterationMs {
+		t.Errorf("flat cluster: ablated plan %.3f ms differs from default %.3f ms", rb.IterationMs, ra.IterationMs)
+	}
+	if fmt.Sprint(a.PipelineKs) != fmt.Sprint(b.PipelineKs) {
+		t.Errorf("flat cluster: pipeline shapes differ: %v vs %v", a.PipelineKs, b.PipelineKs)
+	}
+	if rb.A2ABoundSpineMs != 0 {
+		t.Errorf("flat cluster reported %.3f ms spine-bound a2a, want 0", rb.A2ABoundSpineMs)
 	}
 }

@@ -10,8 +10,9 @@
 //     a fixed kernel-launch overhead (this produces the over-partitioning
 //     penalty of paper Fig. 6);
 //   - memory-bound ops are priced by bytes moved over device memory;
-//   - collectives follow a hierarchical alpha-beta model across NVLink and
-//     the per-GPU share of the node NICs.
+//   - collectives follow a hierarchical alpha-beta model across NVLink, the
+//     per-GPU share of the node NICs and — when the cluster's topology
+//     declares racks — the oversubscribed spine between them (DESIGN.md §11).
 //
 // The distinction between PredictInstr (what the optimizer sees: cached
 // one-shot profiles and the interpolated comm table, including the paper's
@@ -235,89 +236,153 @@ func (m *Model) GroundComputeUs(in *ir.Instr) float64 {
 }
 
 // groundAllToAllUs prices an all-to-all where every device exchanges
-// bytesPerDevice of payload in total (its full local buffer). Traffic splits
-// between NVLink (peers on the same node) and the per-GPU NIC share (peers
-// elsewhere); the slower of the two paths dominates since they drain
-// concurrently.
+// bytesPerDevice of payload in total (its full local buffer). Traffic
+// splits over the topology's tiers — NVLink for node peers, the per-GPU NIC
+// share toward the rest of the rack, the oversubscribed spine toward other
+// racks (inter-rack bytes load the NIC too, since that is the port they
+// leave through) — and the slowest tier dominates since they drain
+// concurrently. With a flat topology the spine tier is empty and the model
+// reduces to the original two-tier closed form (DESIGN.md §11).
 func (m *Model) groundAllToAllUs(bytesPerDevice int64, devices int) float64 {
-	if devices <= 1 || bytesPerDevice <= 0 {
+	tiers := m.a2aTierUs(bytesPerDevice, devices)
+	if tiers == ([hw.NumTiers]float64{}) {
 		return 0
+	}
+	alpha := 15.0 + 0.4*float64(devices) // startup + grouped send/recv latency
+	bound := 0.0
+	for _, t := range tiers {
+		bound = math.Max(bound, t)
+	}
+	return alpha + bound
+}
+
+// a2aTierUs returns the per-tier drain bounds (microseconds, no startup
+// latency) of a uniform all-to-all, the closed-form mirror of
+// netsim.AllToAllTimed's per-tier reduction. A zero result means the
+// exchange moves no bytes.
+func (m *Model) a2aTierUs(bytesPerDevice int64, devices int) [hw.NumTiers]float64 {
+	var tiers [hw.NumTiers]float64
+	if devices <= 1 || bytesPerDevice <= 0 {
+		return tiers
 	}
 	c := m.Cluster
 	gpn := c.Node.GPUsPerNode
 	if devices < gpn {
 		gpn = devices
 	}
+	nodes := (devices + gpn - 1) / gpn
+	rackNodes := c.RackNodes()
+	if rackNodes > nodes {
+		rackNodes = nodes
+	}
 	peers := float64(devices - 1)
 	intraPeers := float64(gpn - 1)
 	interPeers := peers - intraPeers
+	// Peers behind the same rack switch but on other nodes; everything
+	// beyond them crosses the spine. Approximates full nodes, like the
+	// intra/inter split above.
+	sameRackPeers := float64((rackNodes - 1) * gpn)
+	if sameRackPeers > interPeers {
+		sameRackPeers = interPeers
+	}
+	spinePeers := interPeers - sameRackPeers
 	perPeer := float64(bytesPerDevice) / float64(devices)
 
-	alpha := 15.0 + 0.4*float64(devices) // startup + grouped send/recv latency
-
 	intraBytes := perPeer * intraPeers
-	interBytes := perPeer * interPeers
-	intraT := intraBytes / (effBW(c.Node.NVLinkGBs, intraBytes) * 1e9) * 1e6
-	interT := 0.0
+	interBytes := perPeer * interPeers // NIC carries rack and spine traffic alike
+	spineBytes := perPeer * spinePeers
+	tiers[hw.TierNVLink] = intraBytes / (effBW(c.Node.NVLinkGBs, intraBytes) * 1e9) * 1e6
 	if interPeers > 0 {
-		interT = interBytes / (effBW(c.PerGPUNICGBs(), interBytes) * 1e9) * 1e6
+		tiers[hw.TierNIC] = interBytes / (effBW(c.PerGPUNICGBs(), interBytes) * 1e9) * 1e6
 	}
-	return alpha + math.Max(intraT, interT)
+	if spinePeers > 0 {
+		tiers[hw.TierSpine] = spineBytes / (effBW(c.SpineGBsPerGPU(), spineBytes) * 1e9) * 1e6
+	}
+	return tiers
+}
+
+// A2ATierUs exposes the closed-form per-tier drain bounds of a uniform
+// all-to-all (microseconds, startup latency excluded) — the decomposition
+// behind the simulator's per-tier breakdown.
+func (m *Model) A2ATierUs(bytesPerDevice int64, devices int) [hw.NumTiers]float64 {
+	if devices == 0 {
+		devices = m.Cluster.TotalGPUs()
+	}
+	return m.a2aTierUs(bytesPerDevice, devices)
+}
+
+// A2ABottleneck reports which tier bounds a uniform all-to-all of the given
+// payload: the tier a topology-aware planner must relieve to speed the
+// exchange up.
+func (m *Model) A2ABottleneck(bytesPerDevice int64, devices int) hw.Tier {
+	tiers := m.A2ATierUs(bytesPerDevice, devices)
+	best := hw.TierNVLink
+	for tier := hw.Tier(0); tier < hw.NumTiers; tier++ {
+		if tiers[tier] > tiers[best] {
+			best = tier
+		}
+	}
+	return best
 }
 
 // groundAllReduceUs prices a hierarchical all-reduce of bytes-per-device
-// gradient data: intra-node reduce-scatter over NVLink, an inter-node ring
+// gradient data: intra-node reduce-scatter over NVLink, an intra-rack ring
 // over each GPU's 1/gpn shard (so a node's NICs carry the gradient once,
-// not once per GPU), then intra-node all-gather. This asymmetry versus
-// all-to-all — whose inter-node traffic cannot be shard-reduced — is why
-// MoE dispatch dominates MoE training communication (paper Sec. 1).
+// not once per GPU), an inter-rack ring over the rack-sharded slice across
+// the spine, then the gathers back down. The hierarchical ring moves the
+// same total volume as a single flat ring (the per-level (n-1)/n factors
+// telescope), so a non-blocking spine reproduces the flat closed form; an
+// oversubscribed one only pays extra on the inter-rack slice. This
+// asymmetry versus all-to-all — whose inter-node traffic cannot be
+// shard-reduced — is why MoE dispatch dominates MoE training communication
+// (paper Sec. 1).
 func (m *Model) groundAllReduceUs(bytes int64, devices int) float64 {
-	if devices <= 1 || bytes <= 0 {
-		return 0
-	}
-	c := m.Cluster
-	gpn := c.Node.GPUsPerNode
-	nodes := (devices + gpn - 1) / gpn
-	vol := float64(bytes)
-	alpha := 20.0 + 1.5*math.Log2(float64(devices))
-
-	// Intra-node reduce-scatter + all-gather over NVLink.
-	intra := 2 * vol * float64(gpn-1) / float64(gpn) / (effBW(c.Node.NVLinkGBs, vol) * 1e9) * 1e6
-	if gpn <= 1 {
-		intra = 0
-	}
-	// Inter-node ring over each GPU's shard.
-	inter := 0.0
-	if nodes > 1 {
-		shard := vol / float64(gpn)
-		inter = 2 * shard * float64(nodes-1) / float64(nodes) / (effBW(c.PerGPUNICGBs(), shard) * 1e9) * 1e6
-	}
-	return alpha + intra + inter
+	return m.groundHierarchicalUs(bytes, devices, 2)
 }
 
 // groundAllGatherUs prices a hierarchical all-gather (or reduce-scatter —
 // the two move the same volume in opposite directions) of `bytes` of
 // gathered data: one direction of the all-reduce's two.
 func (m *Model) groundAllGatherUs(bytes int64, devices int) float64 {
+	return m.groundHierarchicalUs(bytes, devices, 1)
+}
+
+// groundHierarchicalUs is the shared hierarchical-collective closed form:
+// directions is 2 for all-reduce (reduce-scatter + all-gather) and 1 for
+// all-gather/reduce-scatter.
+func (m *Model) groundHierarchicalUs(bytes int64, devices int, directions float64) float64 {
 	if devices <= 1 || bytes <= 0 {
 		return 0
 	}
 	c := m.Cluster
 	gpn := c.Node.GPUsPerNode
 	nodes := (devices + gpn - 1) / gpn
+	rackNodes := c.RackNodes()
+	if rackNodes > nodes {
+		rackNodes = nodes
+	}
+	racks := (nodes + rackNodes - 1) / rackNodes
 	vol := float64(bytes)
 	alpha := 20.0 + 1.5*math.Log2(float64(devices))
 
-	intra := vol * float64(gpn-1) / float64(gpn) / (effBW(c.Node.NVLinkGBs, vol) * 1e9) * 1e6
+	// Intra-node reduce-scatter/all-gather over NVLink.
+	intra := directions * vol * float64(gpn-1) / float64(gpn) / (effBW(c.Node.NVLinkGBs, vol) * 1e9) * 1e6
 	if gpn <= 1 {
 		intra = 0
 	}
-	inter := 0.0
-	if nodes > 1 {
-		shard := vol / float64(gpn)
-		inter = shard * float64(nodes-1) / float64(nodes) / (effBW(c.PerGPUNICGBs(), shard) * 1e9) * 1e6
+	// Intra-rack ring over each GPU's node shard.
+	rack := 0.0
+	shard := vol / float64(gpn)
+	if rackNodes > 1 {
+		rack = directions * shard * float64(rackNodes-1) / float64(rackNodes) / (effBW(c.PerGPUNICGBs(), shard) * 1e9) * 1e6
 	}
-	return alpha + intra + inter
+	// Inter-rack ring over the rack-sharded slice, across the spine.
+	spine := 0.0
+	if racks > 1 {
+		rackShard := shard / float64(rackNodes)
+		spine = directions * rackShard * float64(racks-1) / float64(racks) / (effBW(c.SpineGBsPerGPU(), rackShard) * 1e9) * 1e6
+	}
+	return alpha + intra + rack + spine
 }
 
 // effBW models small-message bandwidth ramp-up: achieved = peak * b/(b+b0).

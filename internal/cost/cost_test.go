@@ -431,3 +431,103 @@ func TestValidateProfile(t *testing.T) {
 	}()
 	m.AllToAllSkewedUs(1<<20, netsim.UniformProfile(4))
 }
+
+// topoCluster builds a V100 cluster with the given rack hierarchy.
+func topoCluster(t *testing.T, nodes, nodesPerRack int, oversub float64) hw.Cluster {
+	t.Helper()
+	c, err := hw.V100Cluster(nodes).WithTopology(hw.Topology{NodesPerRack: nodesPerRack, Oversubscription: oversub})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// The ISSUE-pinned equivalence: a degenerate (one-tier) topology must
+// reproduce the flat closed forms within 2% across the message-size ramp,
+// for every collective the model prices.
+func TestTopologyDegenerateReproducesFlatClosedForm(t *testing.T) {
+	flat := NewModel(hw.V100Cluster(4))
+	degenerates := map[string]*Model{
+		"non-blocking spine": NewModel(topoCluster(t, 4, 1, 1)),
+		"single rack":        NewModel(topoCluster(t, 4, 4, 8)),
+		"zero topology":      NewModel(topoCluster(t, 4, 0, 0)),
+	}
+	g := flat.Cluster.TotalGPUs()
+	ramp := []int64{16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20, 64 << 20, 256 << 20}
+	for name, m := range degenerates {
+		for _, b := range ramp {
+			for op, f := range map[string]func(*Model) float64{
+				"a2a":       func(m *Model) float64 { return m.groundAllToAllUs(b, g) },
+				"allreduce": func(m *Model) float64 { return m.groundAllReduceUs(b, g) },
+				"allgather": func(m *Model) float64 { return m.groundAllGatherUs(b, g) },
+			} {
+				got, want := f(m), f(flat)
+				if rel := math.Abs(got-want) / want; rel > 0.02 {
+					t.Errorf("%s: %s bytes=%d: %v us vs flat %v us (%.2f%% apart, want <= 2%%)",
+						name, op, b, got, want, rel*100)
+				}
+			}
+		}
+	}
+}
+
+func TestTopologyOversubSlowsCollectives(t *testing.T) {
+	flat := NewModel(hw.V100Cluster(4))
+	over := NewModel(topoCluster(t, 4, 2, 4))
+	g := flat.Cluster.TotalGPUs()
+	b := int64(32 << 20)
+	if fo, oo := flat.groundAllToAllUs(b, g), over.groundAllToAllUs(b, g); oo <= fo {
+		t.Errorf("a2a: oversubscribed %v us must exceed flat %v us", oo, fo)
+	}
+	if fo, oo := flat.groundAllReduceUs(b, g), over.groundAllReduceUs(b, g); oo <= fo {
+		t.Errorf("allreduce: oversubscribed %v us must exceed flat %v us", oo, fo)
+	}
+	if fo, oo := flat.groundAllGatherUs(b, g), over.groundAllGatherUs(b, g); oo <= fo {
+		t.Errorf("allgather: oversubscribed %v us must exceed flat %v us", oo, fo)
+	}
+	// The prediction tables are profiled from the topology-aware ground
+	// truth, so interpolated predictions see the spine too.
+	if fp, op := flat.PredictComm(ir.OpAllToAll, b, g), over.PredictComm(ir.OpAllToAll, b, g); op <= fp {
+		t.Errorf("predicted a2a: oversubscribed %v us must exceed flat %v us", op, fp)
+	}
+}
+
+func TestA2ABottleneckTierClassification(t *testing.T) {
+	b := int64(32 << 20)
+	// Multi-node flat V100: the single shared NIC bounds the exchange.
+	flat := NewModel(hw.V100Cluster(2))
+	if tier := flat.A2ABottleneck(b, flat.Cluster.TotalGPUs()); tier != hw.TierNIC {
+		t.Errorf("flat multi-node bottleneck = %v, want nic", tier)
+	}
+	// Single node: everything moves over NVLink.
+	single := NewModel(hw.V100Cluster(1))
+	if tier := single.A2ABottleneck(b, single.Cluster.TotalGPUs()); tier != hw.TierNVLink {
+		t.Errorf("single-node bottleneck = %v, want nvlink", tier)
+	}
+	// Oversubscribed per-node racks: the spine dominates.
+	over := NewModel(topoCluster(t, 2, 1, 8))
+	if tier := over.A2ABottleneck(b, over.Cluster.TotalGPUs()); tier != hw.TierSpine {
+		t.Errorf("oversubscribed bottleneck = %v, want spine", tier)
+	}
+	tiers := over.A2ATierUs(b, over.Cluster.TotalGPUs())
+	if tiers[hw.TierSpine] <= tiers[hw.TierNIC] || tiers[hw.TierNIC] <= tiers[hw.TierNVLink] {
+		t.Errorf("tier bounds %v not ordered spine > nic > nvlink on an 8:1 p3dn fabric", tiers)
+	}
+}
+
+// The skewed (link-level) path and the topology closed form must agree on
+// uniform traffic over a hierarchical fabric, the same equivalence the flat
+// model pins — so planning under a profile and planning under the closed
+// form see the same spine.
+func TestTopologySkewedUniformEquivalence(t *testing.T) {
+	m := NewModel(topoCluster(t, 4, 2, 4))
+	g := m.Cluster.TotalGPUs()
+	prof := netsim.UniformProfile(g)
+	for _, b := range []int64{256 << 10, 4 << 20, 64 << 20} {
+		got := m.AllToAllSkewedUs(b, prof)
+		want := m.groundAllToAllUs(b, g)
+		if rel := math.Abs(got-want) / want; rel > 0.02 {
+			t.Errorf("bytes=%d: skewed-uniform %v us vs closed form %v us (%.2f%% apart)", b, got, want, rel*100)
+		}
+	}
+}

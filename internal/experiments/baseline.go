@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// BaselineComparison is the outcome of comparing a candidate suite run
+// against a committed baseline (the CI bench-regression gate).
+type BaselineComparison struct {
+	// Cells is how many latency cells were actually compared — a gate that
+	// compared nothing is misconfigured, not green.
+	Cells int
+	// Regressions lists every headline latency that got slower than the
+	// baseline by more than the tolerance, plus structural breaks (missing
+	// or failed experiments, rows that disappeared, cells that stopped
+	// being numeric).
+	Regressions []string
+	// Improvements lists cells that got *faster* beyond the tolerance: not
+	// failures, but a hint that the committed baseline is stale and should
+	// be refreshed to keep the gate tight.
+	Improvements []string
+}
+
+// CompareBaseline compares two suite JSON documents (the -json output of
+// cmd/lancet-bench) cell by cell. Headline latencies are the cells in
+// columns whose header contains "(ms)" — simulated plan latencies — rows
+// matched by their first-column label. Host wall-clock columns
+// (Table.WallClockCols) and non-numeric cells (e.g. "OOM") are excluded;
+// a cell that changes between numeric and non-numeric is a regression.
+// Experiments present only in the candidate are ignored (new experiments
+// land before their baseline refresh); experiments missing from the
+// candidate are regressions.
+func CompareBaseline(baseline, candidate []byte, tol float64) (*BaselineComparison, error) {
+	if tol <= 0 {
+		return nil, fmt.Errorf("experiments: tolerance must be positive, got %g", tol)
+	}
+	var base, cand []resultJSON
+	if err := json.Unmarshal(baseline, &base); err != nil {
+		return nil, fmt.Errorf("experiments: bad baseline document: %w", err)
+	}
+	if err := json.Unmarshal(candidate, &cand); err != nil {
+		return nil, fmt.Errorf("experiments: bad candidate document: %w", err)
+	}
+	candByName := make(map[string]resultJSON, len(cand))
+	for _, r := range cand {
+		candByName[r.Name] = r
+	}
+	cmp := &BaselineComparison{}
+	for _, b := range base {
+		if b.Table == nil {
+			continue // a failed baseline run carries nothing to hold the candidate to
+		}
+		c, ok := candByName[b.Name]
+		switch {
+		case !ok:
+			cmp.Regressions = append(cmp.Regressions, fmt.Sprintf("%s: experiment missing from candidate", b.Name))
+			continue
+		case c.Error != "":
+			cmp.Regressions = append(cmp.Regressions, fmt.Sprintf("%s: candidate failed: %s", b.Name, c.Error))
+			continue
+		case c.Table == nil:
+			cmp.Regressions = append(cmp.Regressions, fmt.Sprintf("%s: candidate has no table", b.Name))
+			continue
+		}
+		cmp.compareTable(b.Table, c.Table, tol)
+	}
+	return cmp, nil
+}
+
+// compareTable walks one baseline table's latency cells against the
+// candidate's. Rows are matched by index (table order is deterministic;
+// first-column labels repeat across rows, e.g. one row per framework under
+// the same GPU label) and the labels are verified to still agree.
+func (cmp *BaselineComparison) compareTable(base, cand *Table, tol float64) {
+	wall := make(map[int]bool, len(base.WallClockCols))
+	for _, i := range base.WallClockCols {
+		wall[i] = true
+	}
+	candCols := make(map[string]int, len(cand.Header))
+	for i, h := range cand.Header {
+		candCols[h] = i
+	}
+	for ri, brow := range base.Rows {
+		if len(brow) == 0 {
+			continue
+		}
+		label := fmt.Sprintf("%q#%d", brow[0], ri)
+		if ri >= len(cand.Rows) {
+			cmp.Regressions = append(cmp.Regressions,
+				fmt.Sprintf("%s: row %s missing from candidate", base.ID, label))
+			continue
+		}
+		crow := cand.Rows[ri]
+		if len(crow) == 0 || crow[0] != brow[0] {
+			cmp.Regressions = append(cmp.Regressions,
+				fmt.Sprintf("%s: row %d is %q in the candidate, %q in the baseline — grids diverged, refresh the baseline",
+					base.ID, ri, strings.Join(crow, "|"), strings.Join(brow, "|")))
+			continue
+		}
+		for col, header := range base.Header {
+			if col == 0 || wall[col] || !strings.Contains(header, "(ms)") || len(brow) <= col {
+				continue
+			}
+			ccol, ok := candCols[header]
+			if !ok {
+				cmp.Regressions = append(cmp.Regressions,
+					fmt.Sprintf("%s: column %q missing from candidate", base.ID, header))
+				continue
+			}
+			if len(crow) <= ccol {
+				// The baseline has this latency cell and the candidate row
+				// ends before it: a vanished headline must trip the gate,
+				// not pass it silently.
+				cmp.Regressions = append(cmp.Regressions,
+					fmt.Sprintf("%s[%s][%s]: cell missing from candidate row", base.ID, label, header))
+				continue
+			}
+			bv, berr := strconv.ParseFloat(strings.TrimSpace(brow[col]), 64)
+			cv, cerr := strconv.ParseFloat(strings.TrimSpace(crow[ccol]), 64)
+			switch {
+			case berr != nil && cerr != nil:
+				continue // e.g. OOM on both sides: nothing to compare
+			case berr != nil || cerr != nil:
+				cmp.Regressions = append(cmp.Regressions,
+					fmt.Sprintf("%s[%s][%s]: %q vs baseline %q — numeric/non-numeric flip",
+						base.ID, label, header, crow[ccol], brow[col]))
+				continue
+			}
+			cmp.Cells++
+			if bv == 0 {
+				continue
+			}
+			switch rel := (cv - bv) / bv; {
+			case rel > tol:
+				cmp.Regressions = append(cmp.Regressions,
+					fmt.Sprintf("%s[%s][%s]: %.1f ms vs baseline %.1f ms (+%.1f%%, tolerance %.0f%%)",
+						base.ID, label, header, cv, bv, rel*100, tol*100))
+			case rel < -tol:
+				cmp.Improvements = append(cmp.Improvements,
+					fmt.Sprintf("%s[%s][%s]: %.1f ms vs baseline %.1f ms (%.1f%%) — consider refreshing the baseline",
+						base.ID, label, header, cv, bv, rel*100))
+			}
+		}
+	}
+}

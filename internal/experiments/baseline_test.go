@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// benchDoc serializes synthetic suite results the way cmd/lancet-bench
+// -json does.
+func benchDoc(t *testing.T, results []Result) []byte {
+	t.Helper()
+	doc, err := ResultsJSON(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+func benchTable(id string, rows ...[]string) *Table {
+	return &Table{
+		ID:     id,
+		Title:  id,
+		Header: []string{"GPUs", "Lancet (ms)", "Tutel (ms)", "Speedup"},
+		Rows:   rows,
+	}
+}
+
+func TestCompareBaselineWithinTolerancePasses(t *testing.T) {
+	base := benchDoc(t, []Result{{Name: "fig11", Table: benchTable("fig11",
+		[]string{"16", "100.0", "150.0", "1.50x"})}})
+	cand := benchDoc(t, []Result{{Name: "fig11", Table: benchTable("fig11",
+		[]string{"16", "110.0", "140.0", "1.27x"}), Elapsed: 3 * time.Second}})
+	cmp, err := CompareBaseline(base, cand, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.Regressions) != 0 {
+		t.Errorf("within-tolerance drift flagged: %v", cmp.Regressions)
+	}
+	if cmp.Cells != 2 {
+		t.Errorf("compared %d cells, want 2 (the two (ms) columns)", cmp.Cells)
+	}
+}
+
+func TestCompareBaselineFlagsRegression(t *testing.T) {
+	base := benchDoc(t, []Result{{Name: "fig11", Table: benchTable("fig11",
+		[]string{"16", "100.0", "150.0", "1.50x"})}})
+	cand := benchDoc(t, []Result{{Name: "fig11", Table: benchTable("fig11",
+		[]string{"16", "120.0", "150.0", "1.25x"})}})
+	cmp, err := CompareBaseline(base, cand, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.Regressions) != 1 {
+		t.Fatalf("regressions = %v, want exactly the Lancet cell", cmp.Regressions)
+	}
+	if !strings.Contains(cmp.Regressions[0], "Lancet (ms)") || !strings.Contains(cmp.Regressions[0], "+20.0%") {
+		t.Errorf("regression line %q should name the column and the drift", cmp.Regressions[0])
+	}
+}
+
+func TestCompareBaselineNotesImprovements(t *testing.T) {
+	base := benchDoc(t, []Result{{Name: "fig11", Table: benchTable("fig11",
+		[]string{"16", "100.0", "150.0", "1.50x"})}})
+	cand := benchDoc(t, []Result{{Name: "fig11", Table: benchTable("fig11",
+		[]string{"16", "70.0", "150.0", "2.14x"})}})
+	cmp, err := CompareBaseline(base, cand, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.Regressions) != 0 {
+		t.Errorf("an improvement is not a regression: %v", cmp.Regressions)
+	}
+	if len(cmp.Improvements) != 1 || !strings.Contains(cmp.Improvements[0], "refreshing") {
+		t.Errorf("improvements = %v, want one refresh hint", cmp.Improvements)
+	}
+}
+
+func TestCompareBaselineStructuralBreaks(t *testing.T) {
+	base := benchDoc(t, []Result{
+		{Name: "fig11", Table: benchTable("fig11",
+			[]string{"16", "100.0", "150.0", "1.50x"},
+			[]string{"32", "110.0", "160.0", "1.45x"})},
+		{Name: "fig12", Table: benchTable("fig12", []string{"16", "90.0", "130.0", "1.44x"})},
+		{Name: "fig13", Table: benchTable("fig13", []string{"16", "80.0", "120.0", "1.50x"})},
+	})
+	cand := benchDoc(t, []Result{
+		// fig11's grid shifted and lost a row, fig12 went missing entirely,
+		// fig13 OOMed a cell.
+		{Name: "fig11", Table: benchTable("fig11", []string{"64", "100.0", "150.0", "1.50x"})},
+		{Name: "fig13", Table: benchTable("fig13", []string{"16", "OOM", "120.0", "-"})},
+		// A brand-new experiment with no baseline is not a break.
+		{Name: "fig99", Table: benchTable("fig99", []string{"16", "1.0", "2.0", "2.00x"})},
+	})
+	cmp, err := CompareBaseline(base, cand, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var diverged, missingRow, missingExp, flip int
+	for _, r := range cmp.Regressions {
+		switch {
+		case strings.Contains(r, "grids diverged"):
+			diverged++
+		case strings.Contains(r, "row \"32\"#1 missing"):
+			missingRow++
+		case strings.Contains(r, "experiment missing"):
+			missingExp++
+		case strings.Contains(r, "flip"):
+			flip++
+		}
+	}
+	if diverged != 1 || missingRow != 1 || missingExp != 1 || flip != 1 {
+		t.Errorf("regressions = %v; want 1 diverged row, 1 missing row, 1 missing experiment, 1 flip",
+			cmp.Regressions)
+	}
+}
+
+func TestCompareBaselineIgnoresWallClockColumns(t *testing.T) {
+	tbl := func(ms string) *Table {
+		return &Table{
+			ID:            "fig15",
+			Header:        []string{"Model", "Optimize (ms)", "Iter (ms)"},
+			Rows:          [][]string{{"gpt2-s", ms, "100.0"}},
+			WallClockCols: []int{1},
+		}
+	}
+	base := benchDoc(t, []Result{{Name: "fig15", Table: tbl("1000.0")}})
+	cand := benchDoc(t, []Result{{Name: "fig15", Table: tbl("9000.0")}})
+	cmp, err := CompareBaseline(base, cand, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.Regressions) != 0 {
+		t.Errorf("host wall-clock drift flagged: %v", cmp.Regressions)
+	}
+	if cmp.Cells != 1 {
+		t.Errorf("compared %d cells, want 1 (only the simulated column)", cmp.Cells)
+	}
+}
+
+func TestCompareBaselineRejectsBadInput(t *testing.T) {
+	good := benchDoc(t, []Result{})
+	if _, err := CompareBaseline([]byte("not json"), good, 0.15); err == nil {
+		t.Error("bad baseline JSON must error")
+	}
+	if _, err := CompareBaseline(good, []byte("{"), 0.15); err == nil {
+		t.Error("bad candidate JSON must error")
+	}
+	if _, err := CompareBaseline(good, good, 0); err == nil {
+		t.Error("zero tolerance must error")
+	}
+}
+
+// The real quick-suite output must be stable against itself — the property
+// the CI gate relies on (simulations are seeded; only wall clock varies).
+func TestCompareBaselineSelfQuickSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the quick suite twice")
+	}
+	a := benchDoc(t, RunSuite(t.Context(), true, 2))
+	b := benchDoc(t, RunSuite(t.Context(), true, 2))
+	cmp, err := CompareBaseline(a, b, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.Regressions) != 0 {
+		t.Errorf("back-to-back quick suites disagree: %v", cmp.Regressions)
+	}
+	if cmp.Cells == 0 {
+		t.Error("self-comparison compared zero cells — the gate would be vacuous")
+	}
+}
+
+func TestCompareBaselineFlagsShortCandidateRow(t *testing.T) {
+	base := benchDoc(t, []Result{{Name: "fig11", Table: benchTable("fig11",
+		[]string{"16", "100.0", "150.0", "1.50x"})}})
+	// Same row label, but the row ends before the second (ms) column.
+	cand := benchDoc(t, []Result{{Name: "fig11", Table: &Table{
+		ID:     "fig11",
+		Header: []string{"GPUs", "Lancet (ms)", "Tutel (ms)", "Speedup"},
+		Rows:   [][]string{{"16", "100.0"}},
+	}}})
+	cmp, err := CompareBaseline(base, cand, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range cmp.Regressions {
+		if strings.Contains(r, "cell missing from candidate row") && strings.Contains(r, "Tutel (ms)") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("vanished latency cell must trip the gate; regressions = %v", cmp.Regressions)
+	}
+	if cmp.Cells != 1 {
+		t.Errorf("compared %d cells, want 1 (the surviving Lancet cell)", cmp.Cells)
+	}
+}

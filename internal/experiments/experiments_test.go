@@ -316,3 +316,26 @@ func TestSkewPlanningAwareWins(t *testing.T) {
 		}
 	}
 }
+
+func TestTopologyPlanningAwareWins(t *testing.T) {
+	tab, err := TopologyPlanning(Params{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, row := range tab.Rows {
+		blind, aware := parseF(t, row[1]), parseF(t, row[2])
+		// The acceptance bar: under inter-node-bound traffic on an
+		// oversubscribed fabric, the topology-planned configuration beats
+		// the flat-planned one.
+		if aware >= blind {
+			t.Errorf("oversub %s: topology-planned %.1f ms should beat flat-planned %.1f ms",
+				row[0], aware, blind)
+		}
+		if row[3] == "" || strings.Count(row[3], "/") != 1 {
+			t.Errorf("oversub %s: malformed pipeline column %q", row[0], row[3])
+		}
+	}
+}

@@ -3,11 +3,20 @@
 // network interfaces, and multi-node cluster topologies matching the Amazon
 // EC2 p3dn.24xlarge and p4de.24xlarge instances used in the paper.
 //
+// Beyond the node boundary, a Topology describes the network hierarchy:
+// nodes grouped under non-blocking rack switches with an oversubscribed
+// spine above them (DESIGN.md §11). The zero Topology is the flat fabric —
+// every node one hop from every other at full NIC bandwidth — which is what
+// all pre-topology code assumed.
+//
 // All quantities are static specifications; timing derived from them lives in
 // package cost.
 package hw
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // GPUSpec describes a single accelerator.
 type GPUSpec struct {
@@ -51,11 +60,125 @@ type NodeSpec struct {
 	NVLinkGBs float64
 }
 
+// Tier identifies the link class a (src, dst) device pair traverses —
+// the hierarchy levels of the topology-aware network model.
+type Tier int
+
+const (
+	// TierNVLink is intra-node traffic over the NVLink mesh.
+	TierNVLink Tier = iota
+	// TierNIC is inter-node traffic between nodes sharing a rack switch.
+	TierNIC
+	// TierSpine is inter-rack traffic crossing the (possibly
+	// oversubscribed) spine.
+	TierSpine
+	// NumTiers sizes per-tier accumulators.
+	NumTiers
+)
+
+func (t Tier) String() string {
+	switch t {
+	case TierNVLink:
+		return "nvlink"
+	case TierNIC:
+		return "nic"
+	case TierSpine:
+		return "spine"
+	}
+	return fmt.Sprintf("tier(%d)", int(t))
+}
+
+// Topology describes the network hierarchy above the node boundary. The
+// zero value is the flat fabric every pre-topology model assumed: all nodes
+// under one non-blocking switch.
+type Topology struct {
+	// NodesPerRack groups nodes under one non-blocking rack (leaf) switch.
+	// 0, or any value >= the cluster's node count, means a single rack: no
+	// spine tier exists and the topology is flat.
+	NodesPerRack int
+	// Oversubscription divides the per-GPU NIC share for traffic that
+	// crosses racks: 2 means the spine carries half the leaf bandwidth (a
+	// 2:1 oversubscribed fabric). 0 means 1 (non-blocking spine).
+	Oversubscription float64
+}
+
+// Oversub returns the effective oversubscription factor (>= 1; the zero
+// value reads as a non-blocking spine).
+func (t Topology) Oversub() float64 {
+	if t.Oversubscription == 0 {
+		return 1
+	}
+	return t.Oversubscription
+}
+
+// DefaultRacks resolves the request-layer convention shared by the CLI
+// (-oversub) and the serving layer (topology.oversub): an oversubscribed
+// spec without an explicit rack size means per-node racks, so the factor
+// applies to all inter-node traffic. Topology semantics proper are
+// unchanged — a zero NodesPerRack still means one rack.
+func (t Topology) DefaultRacks() Topology {
+	if t.NodesPerRack == 0 && t.Oversubscription > 1 {
+		t.NodesPerRack = 1
+	}
+	return t
+}
+
+// validate reports the first invalid Topology field as a *SpecError.
+func (t Topology) validate() error {
+	if t.NodesPerRack < 0 {
+		return &SpecError{Field: "Topology.NodesPerRack", Value: float64(t.NodesPerRack)}
+	}
+	if o := t.Oversubscription; o != 0 && (o < 1 || math.IsNaN(o) || math.IsInf(o, 0)) {
+		return &SpecError{Field: "Topology.Oversubscription", Value: o}
+	}
+	return nil
+}
+
 // Cluster is a homogeneous collection of nodes.
 type Cluster struct {
 	Name  string
 	Nodes int
 	Node  NodeSpec
+	// Topology is the network hierarchy above the nodes; the zero value is
+	// the flat single-rack fabric.
+	Topology Topology
+}
+
+// SpecError reports a hardware specification field that would poison the
+// cost model (zero or negative counts and bandwidths turn into NaN/Inf
+// predictions). It is returned at cluster construction so the bad value
+// fails loudly instead of propagating.
+type SpecError struct {
+	Field string
+	Value float64
+}
+
+func (e *SpecError) Error() string {
+	return fmt.Sprintf("hw: invalid cluster spec: %s = %g", e.Field, e.Value)
+}
+
+// Validate checks every quantity the cost model divides by. It returns a
+// *SpecError naming the first offending field, or nil.
+func (c Cluster) Validate() error {
+	checks := []struct {
+		field string
+		value float64
+	}{
+		{"Nodes", float64(c.Nodes)},
+		{"Node.GPUsPerNode", float64(c.Node.GPUsPerNode)},
+		{"Node.NVLinkGBs", c.Node.NVLinkGBs},
+		{"Node.NIC.BandwidthGbps", c.Node.NIC.BandwidthGbps},
+		{"Node.NIC.Count", float64(c.Node.NIC.Count)},
+		{"Node.GPU.PeakTFLOPS", c.Node.GPU.PeakTFLOPS},
+		{"Node.GPU.MemGB", c.Node.GPU.MemGB},
+		{"Node.GPU.MemBWGBs", c.Node.GPU.MemBWGBs},
+	}
+	for _, ch := range checks {
+		if ch.value <= 0 || math.IsNaN(ch.value) || math.IsInf(ch.value, 0) {
+			return &SpecError{Field: ch.field, Value: ch.value}
+		}
+	}
+	return c.Topology.validate()
 }
 
 // Predefined accelerator specs. Peak numbers are the published fp16 tensor
@@ -104,16 +227,30 @@ func P4de() NodeSpec {
 	}
 }
 
-// NewCluster builds a cluster of n nodes with the given node spec.
-func NewCluster(name string, nodes int, node NodeSpec) Cluster {
-	return Cluster{Name: name, Nodes: nodes, Node: node}
+// NewCluster builds a cluster of n nodes with the given node spec,
+// validating the specification (a *SpecError names the offending field).
+func NewCluster(name string, nodes int, node NodeSpec) (Cluster, error) {
+	c := Cluster{Name: name, Nodes: nodes, Node: node}
+	if err := c.Validate(); err != nil {
+		return Cluster{}, err
+	}
+	return c, nil
+}
+
+// mustCluster builds a cluster from a spec known valid at compile time.
+func mustCluster(name string, nodes int, node NodeSpec) Cluster {
+	c, err := NewCluster(name, nodes, node)
+	if err != nil {
+		panic(err)
+	}
+	return c
 }
 
 // V100Cluster returns an n-node p3dn cluster (8 GPUs per node).
-func V100Cluster(nodes int) Cluster { return NewCluster("V100", nodes, P3dn()) }
+func V100Cluster(nodes int) Cluster { return mustCluster("V100", nodes, P3dn()) }
 
 // A100Cluster returns an n-node p4de cluster (8 GPUs per node).
-func A100Cluster(nodes int) Cluster { return NewCluster("A100", nodes, P4de()) }
+func A100Cluster(nodes int) Cluster { return mustCluster("A100", nodes, P4de()) }
 
 // ClusterForGPUs returns a cluster of the given type sized to hold gpus
 // accelerators. gpus must be a multiple of the node size for multi-node
@@ -138,12 +275,92 @@ func ClusterForGPUs(gpuType string, gpus int) (Cluster, error) {
 		// per-GPU inter-node bandwidth for small experiments.
 		node.NIC.BandwidthGbps *= float64(gpus) / float64(node.GPUsPerNode)
 		node.GPUsPerNode = gpus
-		return NewCluster(gpuType, 1, node), nil
+		return NewCluster(gpuType, 1, node)
 	}
 	if gpus%node.GPUsPerNode != 0 {
 		return Cluster{}, fmt.Errorf("hw: %d GPUs is not a multiple of node size %d", gpus, node.GPUsPerNode)
 	}
-	return NewCluster(gpuType, gpus/node.GPUsPerNode, node), nil
+	return NewCluster(gpuType, gpus/node.GPUsPerNode, node)
+}
+
+// WithTopology returns a copy of the cluster with the given network
+// hierarchy, validating the combined specification.
+func (c Cluster) WithTopology(t Topology) (Cluster, error) {
+	c.Topology = t
+	if err := c.Validate(); err != nil {
+		return Cluster{}, err
+	}
+	return c, nil
+}
+
+// Flat returns a copy of the cluster with the flat single-rack topology —
+// what a topology-blind planner believes the fabric looks like.
+func (c Cluster) Flat() Cluster {
+	c.Topology = Topology{}
+	return c
+}
+
+// RackNodes is the number of nodes sharing one rack switch, clamped to the
+// cluster: 0 (unset) or anything >= Nodes collapses to a single rack.
+func (c Cluster) RackNodes() int {
+	r := c.Topology.NodesPerRack
+	if r <= 0 || r > c.Nodes {
+		return c.Nodes
+	}
+	return r
+}
+
+// Racks is the number of rack switches the cluster's nodes occupy.
+func (c Cluster) Racks() int {
+	rn := c.RackNodes()
+	if rn <= 0 {
+		return 1
+	}
+	return (c.Nodes + rn - 1) / rn
+}
+
+// FlatTopology reports whether the spine tier can never bound a transfer:
+// a single rack, or a non-blocking (1:1) spine. Flat clusters price
+// identically to the pre-topology closed forms.
+func (c Cluster) FlatTopology() bool {
+	return c.Racks() <= 1 || c.Topology.Oversub() <= 1
+}
+
+// SameRack reports whether two global GPU ranks live under the same rack
+// switch.
+func (c Cluster) SameRack(a, b int) bool {
+	perRack := c.RackNodes() * c.Node.GPUsPerNode
+	return a/perRack == b/perRack
+}
+
+// TierOf classifies the path between two global GPU ranks.
+func (c Cluster) TierOf(a, b int) Tier {
+	switch {
+	case c.SameNode(a, b):
+		return TierNVLink
+	case c.SameRack(a, b):
+		return TierNIC
+	default:
+		return TierSpine
+	}
+}
+
+// SpineGBsPerGPU is the per-GPU share of inter-rack bandwidth in GB/s: the
+// NIC share divided by the spine's oversubscription factor.
+func (c Cluster) SpineGBsPerGPU() float64 {
+	return c.PerGPUNICGBs() / c.Topology.Oversub()
+}
+
+// TierGBsPerGPU is the per-GPU bandwidth of the given tier in GB/s.
+func (c Cluster) TierGBsPerGPU(t Tier) float64 {
+	switch t {
+	case TierNVLink:
+		return c.Node.NVLinkGBs
+	case TierNIC:
+		return c.PerGPUNICGBs()
+	default:
+		return c.SpineGBsPerGPU()
+	}
 }
 
 // TotalGPUs is the number of accelerators in the cluster.
@@ -165,5 +382,9 @@ func (c Cluster) SameNode(a, b int) bool {
 func (c Cluster) MemBytes() float64 { return c.Node.GPU.MemGB * (1 << 30) }
 
 func (c Cluster) String() string {
-	return fmt.Sprintf("%s[%d nodes x %d %s]", c.Name, c.Nodes, c.Node.GPUsPerNode, c.Node.GPU.Name)
+	s := fmt.Sprintf("%s[%d nodes x %d %s", c.Name, c.Nodes, c.Node.GPUsPerNode, c.Node.GPU.Name)
+	if !c.FlatTopology() {
+		s += fmt.Sprintf(", %d racks, %g:1 spine", c.Racks(), c.Topology.Oversub())
+	}
+	return s + "]"
 }

@@ -1,6 +1,7 @@
 package hw
 
 import (
+	"errors"
 	"strings"
 	"testing"
 )
@@ -127,10 +128,172 @@ func TestMemBytes(t *testing.T) {
 	}
 }
 
+func TestValidateRejectsBadSpecs(t *testing.T) {
+	base := V100Cluster(2)
+	mutations := []struct {
+		name string
+		mut  func(c Cluster) Cluster
+	}{
+		{"zero nodes", func(c Cluster) Cluster { c.Nodes = 0; return c }},
+		{"negative nodes", func(c Cluster) Cluster { c.Nodes = -1; return c }},
+		{"zero gpus per node", func(c Cluster) Cluster { c.Node.GPUsPerNode = 0; return c }},
+		{"zero nvlink", func(c Cluster) Cluster { c.Node.NVLinkGBs = 0; return c }},
+		{"negative nic bw", func(c Cluster) Cluster { c.Node.NIC.BandwidthGbps = -100; return c }},
+		{"zero nic count", func(c Cluster) Cluster { c.Node.NIC.Count = 0; return c }},
+		{"zero mem bw", func(c Cluster) Cluster { c.Node.GPU.MemBWGBs = 0; return c }},
+		{"zero tflops", func(c Cluster) Cluster { c.Node.GPU.PeakTFLOPS = 0; return c }},
+		{"negative rack size", func(c Cluster) Cluster { c.Topology.NodesPerRack = -1; return c }},
+		{"fractional oversub", func(c Cluster) Cluster { c.Topology.Oversubscription = 0.5; return c }},
+	}
+	for _, m := range mutations {
+		err := m.mut(base).Validate()
+		if err == nil {
+			t.Errorf("%s: Validate() = nil, want *SpecError", m.name)
+			continue
+		}
+		var spec *SpecError
+		if !errors.As(err, &spec) {
+			t.Errorf("%s: Validate() = %T, want *SpecError", m.name, err)
+		}
+	}
+	if err := base.Validate(); err != nil {
+		t.Errorf("valid cluster rejected: %v", err)
+	}
+}
+
+func TestNewClusterValidates(t *testing.T) {
+	node := P3dn()
+	node.NVLinkGBs = 0
+	if _, err := NewCluster("bad", 2, node); err == nil {
+		t.Fatal("NewCluster must reject a zero-bandwidth spec at construction")
+	}
+	var spec *SpecError
+	_, err := NewCluster("bad", 0, P3dn())
+	if !errors.As(err, &spec) {
+		t.Fatalf("NewCluster error = %T (%v), want *SpecError", err, err)
+	}
+	if spec.Field != "Nodes" {
+		t.Errorf("SpecError.Field = %q, want Nodes", spec.Field)
+	}
+}
+
+func TestTopologyTiers(t *testing.T) {
+	c, err := V100Cluster(4).WithTopology(Topology{NodesPerRack: 2, Oversubscription: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Racks(); got != 2 {
+		t.Errorf("Racks = %d, want 2", got)
+	}
+	// Ranks 0-7 node 0, 8-15 node 1 (rack 0); 16-23 node 2, 24-31 node 3
+	// (rack 1).
+	cases := []struct {
+		a, b int
+		want Tier
+	}{
+		{0, 7, TierNVLink},
+		{0, 8, TierNIC},
+		{8, 15, TierNVLink},
+		{0, 16, TierSpine},
+		{15, 16, TierSpine},
+		{16, 31, TierNIC},
+	}
+	for _, tc := range cases {
+		if got := c.TierOf(tc.a, tc.b); got != tc.want {
+			t.Errorf("TierOf(%d,%d) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+	if got, want := c.SpineGBsPerGPU(), c.PerGPUNICGBs()/4; !closeTo(got, want) {
+		t.Errorf("SpineGBsPerGPU = %v, want %v", got, want)
+	}
+	for _, tier := range []Tier{TierNVLink, TierNIC, TierSpine} {
+		if c.TierGBsPerGPU(tier) <= 0 {
+			t.Errorf("TierGBsPerGPU(%v) must be positive", tier)
+		}
+	}
+	if c.TierGBsPerGPU(TierSpine) >= c.TierGBsPerGPU(TierNIC) {
+		t.Error("oversubscribed spine must be slower than the rack tier")
+	}
+}
+
+func TestFlatTopologyDegenerateForms(t *testing.T) {
+	flat := V100Cluster(4)
+	if !flat.FlatTopology() {
+		t.Error("zero topology must be flat")
+	}
+	if got := flat.Racks(); got != 1 {
+		t.Errorf("flat Racks = %d, want 1", got)
+	}
+	// One rack covering every node stays flat even with an oversub factor:
+	// no pair ever crosses the spine.
+	oneRack, err := flat.WithTopology(Topology{NodesPerRack: 8, Oversubscription: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !oneRack.FlatTopology() {
+		t.Error("single-rack topology must be flat regardless of oversubscription")
+	}
+	// A non-blocking spine is flat even with many racks.
+	nb, err := flat.WithTopology(Topology{NodesPerRack: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !nb.FlatTopology() {
+		t.Error("1:1 spine must be flat")
+	}
+	if nb.Racks() != 4 {
+		t.Errorf("per-node racks: Racks = %d, want 4", nb.Racks())
+	}
+	// Flat() strips the hierarchy.
+	over, err := flat.WithTopology(Topology{NodesPerRack: 1, Oversubscription: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over.FlatTopology() {
+		t.Error("oversubscribed per-node racks must not be flat")
+	}
+	if !over.Flat().FlatTopology() {
+		t.Error("Flat() must return a flat cluster")
+	}
+}
+
+func TestTopologyString(t *testing.T) {
+	c, err := V100Cluster(4).WithTopology(Topology{NodesPerRack: 2, Oversubscription: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := c.String()
+	for _, want := range []string{"2 racks", "4:1 spine"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+	if flat := V100Cluster(4).String(); strings.Contains(flat, "rack") {
+		t.Errorf("flat String() = %q must not mention racks", flat)
+	}
+}
+
 func closeTo(a, b float64) bool {
 	d := a - b
 	if d < 0 {
 		d = -d
 	}
 	return d < 1e-9
+}
+
+func TestDefaultRacks(t *testing.T) {
+	cases := []struct {
+		in, want Topology
+	}{
+		{Topology{Oversubscription: 4}, Topology{NodesPerRack: 1, Oversubscription: 4}},
+		{Topology{NodesPerRack: 2, Oversubscription: 4}, Topology{NodesPerRack: 2, Oversubscription: 4}},
+		{Topology{}, Topology{}}, // flat stays flat
+		{Topology{Oversubscription: 1}, Topology{Oversubscription: 1}}, // 1:1 spine: no racks implied
+		{Topology{NodesPerRack: 3}, Topology{NodesPerRack: 3}},
+	}
+	for _, tc := range cases {
+		if got := tc.in.DefaultRacks(); got != tc.want {
+			t.Errorf("DefaultRacks(%+v) = %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
 }

@@ -1,7 +1,9 @@
 // Package netsim is a link-level network simulator for collective
 // operations on a cluster: every device has finite NVLink bandwidth toward
-// node peers and a finite share of its node's NICs toward other nodes, and
-// a transfer matrix completes when the most-loaded link drains
+// node peers, a finite share of its node's NICs toward other nodes, and —
+// when the cluster's topology declares racks with an oversubscribed spine —
+// a still smaller share toward other racks (DESIGN.md §11). A transfer
+// matrix completes when the most-loaded link on the most-loaded tier drains
 // (LogGP-style bandwidth bound plus startup latency).
 //
 // The closed-form cost model (package cost) prices *uniform* collectives;
@@ -26,56 +28,91 @@ type Network struct {
 // New builds a network simulator for the cluster.
 func New(c hw.Cluster) *Network { return &Network{Cluster: c} }
 
+// A2ATiming is a topology-decomposed all-to-all completion time: the
+// per-tier drain bounds (the slowest device's load on each tier, already in
+// microseconds) and the tier that sets the total.
+type A2ATiming struct {
+	// TotalUs is the completion time: startup latency plus the slowest
+	// tier's drain bound.
+	TotalUs float64
+	// TierUs[t] is the drain bound of tier t (hw.TierNVLink / TierNIC /
+	// TierSpine): how long the most-loaded device needs to push or pull its
+	// traffic on that tier, were the tier the only constraint.
+	TierUs [hw.NumTiers]float64
+	// Bottleneck is the tier whose bound dominates TotalUs.
+	Bottleneck hw.Tier
+}
+
 // AllToAllUs returns the completion time of an all-to-all with
-// sizes[src][dst] payload bytes. Each device's intra-node egress/ingress
-// drains over NVLink and its inter-node egress/ingress over the per-GPU NIC
-// share; the slowest drain bounds completion.
+// sizes[src][dst] payload bytes. See AllToAllTimed for the model.
 func (n *Network) AllToAllUs(sizes [][]int64) (float64, error) {
+	t, err := n.AllToAllTimed(sizes)
+	return t.TotalUs, err
+}
+
+// AllToAllTimed prices an all-to-all on the cluster's hierarchical
+// topology. Each src→dst payload is classified onto its path tier: NVLink
+// for node peers, the per-GPU NIC share for nodes under the same rack
+// switch, the oversubscribed spine for inter-rack pairs — spine traffic
+// also loads the NIC it leaves through. Every device's per-tier
+// egress/ingress drains concurrently with its own small-message ramp (a
+// per-tier bottleneck reduction, not one flat effective bandwidth), and the
+// most-loaded link sets completion.
+func (n *Network) AllToAllTimed(sizes [][]int64) (A2ATiming, error) {
 	g := n.Cluster.TotalGPUs()
 	if len(sizes) != g {
-		return 0, fmt.Errorf("netsim: matrix is %dx? for %d devices", len(sizes), g)
+		return A2ATiming{}, fmt.Errorf("netsim: matrix is %dx? for %d devices", len(sizes), g)
 	}
-	var intraEg, intraIn, interEg, interIn []float64
-	intraEg = make([]float64, g)
-	intraIn = make([]float64, g)
-	interEg = make([]float64, g)
-	interIn = make([]float64, g)
+	// eg[tier][dev] / in[tier][dev] accumulate bytes per tier per device.
+	var eg, in [hw.NumTiers][]float64
+	for t := range eg {
+		eg[t] = make([]float64, g)
+		in[t] = make([]float64, g)
+	}
 	total := int64(0)
 	for src := range sizes {
 		if len(sizes[src]) != g {
-			return 0, fmt.Errorf("netsim: row %d has %d entries for %d devices", src, len(sizes[src]), g)
+			return A2ATiming{}, fmt.Errorf("netsim: row %d has %d entries for %d devices", src, len(sizes[src]), g)
 		}
 		for dst, b := range sizes[src] {
 			if b < 0 {
-				return 0, fmt.Errorf("netsim: negative payload at [%d][%d]", src, dst)
+				return A2ATiming{}, fmt.Errorf("netsim: negative payload at [%d][%d]", src, dst)
 			}
 			if src == dst || b == 0 {
 				continue
 			}
 			total += b
-			if n.Cluster.SameNode(src, dst) {
-				intraEg[src] += float64(b)
-				intraIn[dst] += float64(b)
-			} else {
-				interEg[src] += float64(b)
-				interIn[dst] += float64(b)
+			tier := n.Cluster.TierOf(src, dst)
+			eg[tier][src] += float64(b)
+			in[tier][dst] += float64(b)
+			if tier == hw.TierSpine {
+				// Inter-rack bytes traverse the node's NIC on both ends
+				// before hitting the spine, so they count against the NIC
+				// budget too.
+				eg[hw.TierNIC][src] += float64(b)
+				in[hw.TierNIC][dst] += float64(b)
 			}
 		}
 	}
 	if total == 0 {
-		return 0, nil
+		return A2ATiming{}, nil
 	}
-	nvl := n.Cluster.Node.NVLinkGBs * 1e9
-	nic := n.Cluster.PerGPUNICGBs() * 1e9
-	bound := 0.0
-	for d := 0; d < g; d++ {
-		bound = math.Max(bound, intraEg[d]/effBW(nvl, intraEg[d]))
-		bound = math.Max(bound, intraIn[d]/effBW(nvl, intraIn[d]))
-		bound = math.Max(bound, interEg[d]/effBW(nic, interEg[d]))
-		bound = math.Max(bound, interIn[d]/effBW(nic, interIn[d]))
+	var res A2ATiming
+	for tier := hw.Tier(0); tier < hw.NumTiers; tier++ {
+		bw := n.Cluster.TierGBsPerGPU(tier) * 1e9
+		bound := 0.0
+		for d := 0; d < g; d++ {
+			bound = math.Max(bound, eg[tier][d]/effBW(bw, eg[tier][d]))
+			bound = math.Max(bound, in[tier][d]/effBW(bw, in[tier][d]))
+		}
+		res.TierUs[tier] = bound * 1e6
+		if res.TierUs[tier] > res.TierUs[res.Bottleneck] {
+			res.Bottleneck = tier
+		}
 	}
 	alpha := 15.0 + 0.4*float64(g)
-	return alpha + bound*1e6, nil
+	res.TotalUs = alpha + res.TierUs[res.Bottleneck]
+	return res, nil
 }
 
 // UniformMatrix builds the transfer matrix of a balanced all-to-all where

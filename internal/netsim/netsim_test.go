@@ -295,3 +295,113 @@ func BenchmarkAllToAllMatrix(b *testing.B) {
 		}
 	}
 }
+
+func mustTopo(t *testing.T, c hw.Cluster, topo hw.Topology) hw.Cluster {
+	t.Helper()
+	ct, err := c.WithTopology(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ct
+}
+
+func TestTopologySpineSlowsInterRackTraffic(t *testing.T) {
+	flat := hw.V100Cluster(4)
+	over := mustTopo(t, flat, hw.Topology{NodesPerRack: 2, Oversubscription: 4})
+	m := netsim.UniformMatrix(flat.TotalGPUs(), 8<<20)
+	flatUs, err := netsim.New(flat).AllToAllUs(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	timed, err := netsim.New(over).AllToAllTimed(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if timed.TotalUs <= flatUs {
+		t.Errorf("oversubscribed spine: %v us, flat %v us — spine must slow the uniform a2a", timed.TotalUs, flatUs)
+	}
+	if timed.Bottleneck != hw.TierSpine {
+		t.Errorf("bottleneck = %v, want spine (uniform traffic, 4:1 oversub)", timed.Bottleneck)
+	}
+	// Half of each device's inter-node bytes cross the rack boundary at a
+	// quarter of the NIC share: the spine bound alone should approach 2x the
+	// NIC bound (4x slower on half the bytes, modulo the message-size ramp).
+	if timed.TierUs[hw.TierSpine] <= timed.TierUs[hw.TierNIC] {
+		t.Error("spine drain bound must exceed the NIC bound under 4:1 oversubscription")
+	}
+}
+
+func TestTopologyDegenerateFormsMatchFlat(t *testing.T) {
+	flat := hw.V100Cluster(4)
+	m := netsim.UniformMatrix(flat.TotalGPUs(), 8<<20)
+	want, err := netsim.New(flat).AllToAllUs(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A non-blocking spine and a single all-covering rack must both price
+	// exactly like the flat fabric.
+	for _, topo := range []hw.Topology{
+		{NodesPerRack: 1},                        // per-node racks, 1:1 spine
+		{NodesPerRack: 4, Oversubscription: 16},  // one rack, no spine pairs
+		{NodesPerRack: 99, Oversubscription: 16}, // clamped to one rack
+	} {
+		got, err := netsim.New(mustTopo(t, flat, topo)).AllToAllUs(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want)/want > 1e-9 {
+			t.Errorf("topology %+v: %v us, flat %v us — degenerate topology must match flat exactly", topo, got, want)
+		}
+	}
+}
+
+func TestTopologyIntraRackTrafficUnaffected(t *testing.T) {
+	// Traffic that never crosses a rack boundary prices identically however
+	// oversubscribed the spine is.
+	flat := hw.V100Cluster(4)
+	over := mustTopo(t, flat, hw.Topology{NodesPerRack: 2, Oversubscription: 8})
+	g := flat.TotalGPUs()
+	m := make([][]int64, g)
+	for src := range m {
+		m[src] = make([]int64, g)
+	}
+	// Rack 0 holds ranks 0..15: a dense exchange within it.
+	for src := 0; src < 16; src++ {
+		for dst := 0; dst < 16; dst++ {
+			if src != dst {
+				m[src][dst] = 1 << 20
+			}
+		}
+	}
+	flatUs, err := netsim.New(flat).AllToAllUs(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	timed, err := netsim.New(over).AllToAllTimed(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(timed.TotalUs-flatUs)/flatUs > 1e-9 {
+		t.Errorf("intra-rack exchange: %v us with spine, %v us flat — must match", timed.TotalUs, flatUs)
+	}
+	if timed.TierUs[hw.TierSpine] != 0 {
+		t.Errorf("spine bound = %v us for intra-rack traffic, want 0", timed.TierUs[hw.TierSpine])
+	}
+}
+
+func TestTopologyOversubMonotone(t *testing.T) {
+	// Completion time must be non-decreasing in the oversubscription factor.
+	flat := hw.V100Cluster(4)
+	m := netsim.UniformMatrix(flat.TotalGPUs(), 4<<20)
+	prev := 0.0
+	for i, oversub := range []float64{1, 2, 4, 8, 16} {
+		us, err := netsim.New(mustTopo(t, flat, hw.Topology{NodesPerRack: 1, Oversubscription: oversub})).AllToAllUs(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && us < prev {
+			t.Errorf("oversub %g: %v us < %v us at the previous factor", oversub, us, prev)
+		}
+		prev = us
+	}
+}

@@ -1,0 +1,96 @@
+package partition
+
+import (
+	"testing"
+
+	"lancet/internal/cost"
+	"lancet/internal/hw"
+	"lancet/internal/model"
+)
+
+// buildTopoFixture builds the GPT2-S graph on a 2-node V100 cluster plus
+// two cost models over it: one pricing the flat fabric, one pricing the
+// same nodes behind an 8:1 oversubscribed spine (per-node racks).
+func buildTopoFixture(t *testing.T) (*model.Built, *cost.Model, *cost.Model) {
+	t.Helper()
+	flat := hw.V100Cluster(2)
+	over, err := flat.WithTopology(hw.Topology{NodesPerRack: 1, Oversubscription: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := model.GPT2SMoE()
+	cfg.BatchPerGPU = 16
+	b, err := model.Build(cfg, flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, cost.NewModel(flat), cost.NewModel(over)
+}
+
+// The DP must see the node boundary: pricing the same program over an
+// oversubscribed spine must raise both the serial forward estimate and the
+// chosen plan's cost, and shift which ranges get partitioned how.
+func TestTopologyShiftsChosenRanges(t *testing.T) {
+	b, flat, over := buildTopoFixture(t)
+	opts := Options{GroupUs: 1000, GatePartialBatch: true}
+
+	rf, err := Run(b.Graph, flat, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro, err := Run(b.Graph, over, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ro.SerialForwardUs <= rf.SerialForwardUs {
+		t.Errorf("oversubscribed serial forward %v us must exceed flat %v us",
+			ro.SerialForwardUs, rf.SerialForwardUs)
+	}
+	if ro.ForwardUs <= rf.ForwardUs {
+		t.Errorf("oversubscribed optimal forward %v us must exceed flat %v us",
+			ro.ForwardUs, rf.ForwardUs)
+	}
+	if len(rf.Ranges) == 0 || len(ro.Ranges) == 0 {
+		t.Fatalf("both planners must still partition: flat %d ranges, oversub %d",
+			len(rf.Ranges), len(ro.Ranges))
+	}
+	if samePlan(rf, ro) {
+		t.Errorf("plans identical under flat and 8:1 oversubscribed pricing: %v — the DP is not seeing the topology",
+			planShape(rf))
+	}
+}
+
+// Partitioning must stay worthwhile when the spine is the bottleneck: the
+// chosen plan still beats serial execution under the oversubscribed model.
+func TestTopologyPartitioningStillWins(t *testing.T) {
+	b, _, over := buildTopoFixture(t)
+	res, err := Run(b.Graph, over, Options{GroupUs: 1000, GatePartialBatch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ForwardUs >= res.SerialForwardUs {
+		t.Errorf("optimal forward %v us not better than serial %v us under oversubscription",
+			res.ForwardUs, res.SerialForwardUs)
+	}
+}
+
+func samePlan(a, b *Result) bool {
+	if len(a.Ranges) != len(b.Ranges) {
+		return false
+	}
+	for i := range a.Ranges {
+		ra, rb := a.Ranges[i], b.Ranges[i]
+		if ra.Start != rb.Start || ra.End != rb.End || ra.K != rb.K {
+			return false
+		}
+	}
+	return true
+}
+
+func planShape(r *Result) [][3]int {
+	shape := make([][3]int, 0, len(r.Ranges))
+	for _, rg := range r.Ranges {
+		shape = append(shape, [3]int{rg.Start, rg.End, rg.K})
+	}
+	return shape
+}

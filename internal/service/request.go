@@ -20,6 +20,10 @@ type PlanOptions struct {
 	// AssumeUniformRouting plans as if the routed traffic were uniformly
 	// distributed — the skew-blind ablation of DESIGN.md §10.
 	AssumeUniformRouting bool `json:"assume_uniform_routing,omitempty"`
+	// AssumeFlatTopology plans as if the cluster's fabric were flat while
+	// simulation replays the real hierarchy — the topology-blind ablation
+	// of DESIGN.md §11.
+	AssumeFlatTopology bool `json:"assume_flat_topology,omitempty"`
 }
 
 func (o PlanOptions) toLancet() lancet.Options {
@@ -32,7 +36,34 @@ func (o PlanOptions) toLancet() lancet.Options {
 		DWFirstFit:           o.DWFirstFit,
 		PrioritizeAllToAll:   o.PrioritizeAllToAll,
 		AssumeUniformRouting: o.AssumeUniformRouting,
+		AssumeFlatTopology:   o.AssumeFlatTopology,
 	}
+}
+
+// TopologySpec selects the cluster's network hierarchy for /v1/plan and
+// /v1/sweep (DESIGN.md §11): nodes per rack switch and the spine's
+// oversubscription factor. Omitting it (or any spelling that leaves no pair
+// of GPUs behind an oversubscribed spine) selects the flat fabric, and all
+// flat spellings canonicalize to the same cache key. When Oversub > 1 and
+// NodesPerRack is unset, every node becomes its own rack, so the factor
+// applies to all inter-node traffic.
+type TopologySpec struct {
+	NodesPerRack int     `json:"nodes_per_rack,omitempty"`
+	Oversub      float64 `json:"oversub,omitempty"`
+}
+
+// toTopology resolves the request-layer defaulting (DefaultRacks: an
+// oversubscribed spec without a rack size means per-node racks).
+func (t TopologySpec) toTopology() lancet.Topology {
+	return lancet.Topology{NodesPerRack: t.NodesPerRack, Oversubscription: t.Oversub}.DefaultRacks()
+}
+
+// key is the topology spec's canonical cache-key fragment.
+func (t TopologySpec) key() string {
+	if t == (TopologySpec{}) {
+		return "flat"
+	}
+	return fmt.Sprintf("r%dxo%g", t.NodesPerRack, t.Oversub)
 }
 
 // RoutingSpec selects the workload's routing shape for /v1/plan and
@@ -127,11 +158,14 @@ type PlanRequest struct {
 	Seed *int64 `json:"seed,omitempty"`
 	// Skew is the legacy shorthand for routing {"kind":"zipf","alpha":Skew};
 	// Routing is the full spec. Setting both is a client error.
-	Skew         float64      `json:"skew,omitempty"`
-	Routing      *RoutingSpec `json:"routing,omitempty"`
-	SharedExpert bool         `json:"shared_expert,omitempty"`
-	ZeRO3        bool         `json:"zero3,omitempty"`
-	Options      PlanOptions  `json:"options,omitempty"`
+	Skew    float64      `json:"skew,omitempty"`
+	Routing *RoutingSpec `json:"routing,omitempty"`
+	// Topology is the cluster's network hierarchy (racks + spine
+	// oversubscription); nil selects the flat fabric.
+	Topology     *TopologySpec `json:"topology,omitempty"`
+	SharedExpert bool          `json:"shared_expert,omitempty"`
+	ZeRO3        bool          `json:"zero3,omitempty"`
+	Options      PlanOptions   `json:"options,omitempty"`
 }
 
 // BaselineNone disables the baseline comparison of /v1/plan.
@@ -149,6 +183,7 @@ type canonical struct {
 	baseline    string // "" = comparison disabled
 	seed        int64
 	routing     RoutingSpec
+	topo        TopologySpec // zero = flat; every flat spelling normalizes to it
 	opts        PlanOptions
 }
 
@@ -199,10 +234,23 @@ func (r PlanRequest) canonicalize() (*canonical, error) {
 	if c.gpus == 0 {
 		c.gpus = 16
 	}
-	// Build the cluster once to reject unknown GPU types and invalid
-	// counts up front; NewSession rebuilds it cheaply.
-	if _, err := lancet.NewCluster(c.clusterType, c.gpus); err != nil {
+	// Build the cluster once to reject unknown GPU types, invalid counts
+	// and bad topologies up front; NewSession rebuilds it cheaply.
+	cl, err := lancet.NewCluster(c.clusterType, c.gpus)
+	if err != nil {
 		return nil, err
+	}
+	if r.Topology != nil {
+		topo := r.Topology.toTopology()
+		if cl, err = cl.WithTopology(topo); err != nil {
+			return nil, err
+		}
+		if !cl.FlatTopology() {
+			// Canonical non-flat form: the clamped rack size and the
+			// resolved oversubscription factor. Every spelling that leaves
+			// no spine bottleneck stays the zero (flat) spec.
+			c.topo = TopologySpec{NodesPerRack: cl.RackNodes(), Oversub: topo.Oversub()}
+		}
 	}
 	if cfg.BatchPerGPU <= 0 {
 		cfg.BatchPerGPU = cfg.PaperBatchSize(c.clusterType)
@@ -250,6 +298,11 @@ func (c *canonical) echo() PlanRequest {
 		r := c.routing
 		routing = &r
 	}
+	var topo *TopologySpec
+	if c.topo != (TopologySpec{}) {
+		t := c.topo
+		topo = &t
+	}
 	return PlanRequest{
 		Model:        c.cfg.Name,
 		Cluster:      c.clusterType,
@@ -260,6 +313,7 @@ func (c *canonical) echo() PlanRequest {
 		Baseline:     baseline,
 		Seed:         &seed,
 		Routing:      routing,
+		Topology:     topo,
 		SharedExpert: c.cfg.SharedExpert,
 		ZeRO3:        c.cfg.ZeRO3,
 		Options:      c.opts,
@@ -267,14 +321,15 @@ func (c *canonical) echo() PlanRequest {
 }
 
 // sessionKey identifies the Session a request needs: everything that shapes
-// the built graph and its routing profiles, nothing that only shapes the
-// plan (framework, seed, options). The canonical routing fragment keeps
-// skewed and uniform workloads in separate sessions (and, transitively,
-// separate plan-store entries).
+// the built graph, its routing profiles and its cost models, nothing that
+// only shapes the plan (framework, seed, options). The canonical routing
+// and topology fragments keep skewed/uniform and hierarchical/flat
+// workloads in separate sessions (and, transitively, separate plan-store
+// entries).
 func (c *canonical) sessionKey() string {
-	return fmt.Sprintf("%s|%s|%d|b%d|%s|shared%t|zero3%t|rt=%s",
+	return fmt.Sprintf("%s|%s|%d|b%d|%s|shared%t|zero3%t|rt=%s|topo=%s",
 		c.cfg.Name, c.clusterType, c.gpus, c.cfg.BatchPerGPU, c.cfg.Gate,
-		c.cfg.SharedExpert, c.cfg.ZeRO3, c.routing.key())
+		c.cfg.SharedExpert, c.cfg.ZeRO3, c.routing.key(), c.topo.key())
 }
 
 // planKey identifies one framework's plan-and-simulate outcome in the plan

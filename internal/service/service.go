@@ -102,6 +102,11 @@ func (s *Service) session(c *canonical) (*lancet.Session, error) {
 		if err != nil {
 			return nil, err
 		}
+		if c.topo != (TopologySpec{}) {
+			if cluster, err = cluster.WithTopology(c.topo.toTopology()); err != nil {
+				return nil, err
+			}
+		}
 		sess, err := lancet.NewSession(c.cfg, cluster)
 		if err != nil {
 			return nil, err
@@ -271,13 +276,14 @@ type SweepRequest struct {
 	Gates      []string `json:"gates,omitempty"`
 	Frameworks []string `json:"frameworks,omitempty"`
 
-	Batch        int          `json:"batch,omitempty"`
-	Seed         *int64       `json:"seed,omitempty"`
-	Skew         float64      `json:"skew,omitempty"`
-	Routing      *RoutingSpec `json:"routing,omitempty"`
-	SharedExpert bool         `json:"shared_expert,omitempty"`
-	ZeRO3        bool         `json:"zero3,omitempty"`
-	Options      PlanOptions  `json:"options,omitempty"`
+	Batch        int           `json:"batch,omitempty"`
+	Seed         *int64        `json:"seed,omitempty"`
+	Skew         float64       `json:"skew,omitempty"`
+	Routing      *RoutingSpec  `json:"routing,omitempty"`
+	Topology     *TopologySpec `json:"topology,omitempty"`
+	SharedExpert bool          `json:"shared_expert,omitempty"`
+	ZeRO3        bool          `json:"zero3,omitempty"`
+	Options      PlanOptions   `json:"options,omitempty"`
 }
 
 // SweepItem is one grid point's outcome. Err carries per-point failures
@@ -340,7 +346,7 @@ func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
 							Model: m, Cluster: cl, GPUs: g, Gate: gate,
 							Framework: fw, Baseline: BaselineNone,
 							Batch: req.Batch, Seed: req.Seed, Skew: req.Skew,
-							Routing:      req.Routing,
+							Routing: req.Routing, Topology: req.Topology,
 							SharedExpert: req.SharedExpert, ZeRO3: req.ZeRO3,
 							Options: req.Options,
 						})

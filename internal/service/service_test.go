@@ -561,3 +561,102 @@ func TestComputeDeterministic(t *testing.T) {
 		t.Errorf("Compute not deterministic:\n%+v\n%+v", a, b)
 	}
 }
+
+func TestTopologyRejectsBadSpecs(t *testing.T) {
+	h := New(Config{}).Handler()
+	cases := []struct {
+		name, body, wantInError string
+	}{
+		{"fractional oversub", `{"topology": {"oversub": 0.5}}`, "Oversubscription"},
+		{"negative rack size", `{"topology": {"nodes_per_rack": -2}}`, "NodesPerRack"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := postPlan(t, h, tc.body)
+			if w.Code != http.StatusBadRequest {
+				t.Fatalf("status = %d, want 400 (body %s)", w.Code, w.Body)
+			}
+			if msg := decodeError(t, w); !strings.Contains(msg, tc.wantInError) {
+				t.Errorf("error %q does not mention %q", msg, tc.wantInError)
+			}
+		})
+	}
+}
+
+func TestTopologyKeysCanonicalize(t *testing.T) {
+	svc := New(Config{})
+	h := svc.Handler()
+	// Every flat spelling lands on one cache entry: unset, explicit
+	// non-blocking spine, and a single rack covering the whole cluster.
+	flat := postPlan(t, h, fastPlanBody)
+	if flat.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", flat.Code, flat.Body)
+	}
+	for _, body := range []string{
+		`{"framework": "raf", "baseline": "none", "topology": {"nodes_per_rack": 2}}`,
+		`{"framework": "raf", "baseline": "none", "topology": {"nodes_per_rack": 99, "oversub": 8}}`,
+	} {
+		w := postPlan(t, h, body)
+		if w.Code != http.StatusOK {
+			t.Fatalf("status = %d, body %s", w.Code, w.Body)
+		}
+		if got := w.Header().Get("X-Lancet-Cache"); got != "hit" {
+			t.Errorf("flat topology spelling %s should hit the flat entry, got %q", body, got)
+		}
+	}
+	// A real hierarchy is a separate entry, and oversubscription must show
+	// up as a slower plan.
+	over := postPlan(t, h, `{"framework": "raf", "baseline": "none", "topology": {"oversub": 4}}`)
+	if over.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", over.Code, over.Body)
+	}
+	if got := over.Header().Get("X-Lancet-Cache"); got != "miss" {
+		t.Errorf("oversubscribed topology should be a fresh computation, got %q", got)
+	}
+	if n := svc.Computations(); n != 2 {
+		t.Errorf("flat + oversubscribed ran %d computations, want 2", n)
+	}
+	var flatResp, overResp PlanResponse
+	if err := json.NewDecoder(flat.Body).Decode(&flatResp); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(over.Body).Decode(&overResp); err != nil {
+		t.Fatal(err)
+	}
+	if overResp.Result.IterationMs <= flatResp.Result.IterationMs {
+		t.Errorf("oversubscribed iteration %.1f ms must exceed flat %.1f ms",
+			overResp.Result.IterationMs, flatResp.Result.IterationMs)
+	}
+	// The echo carries the canonical topology (per-node racks resolved) and
+	// is resubmittable onto the same entry.
+	if overResp.Request.Topology == nil || overResp.Request.Topology.NodesPerRack != 1 ||
+		overResp.Request.Topology.Oversub != 4 {
+		t.Fatalf("echoed topology = %+v, want nodes_per_rack 1, oversub 4", overResp.Request.Topology)
+	}
+	echoed, err := json.Marshal(overResp.Request)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again := postPlan(t, h, string(echoed))
+	if got := again.Header().Get("X-Lancet-Cache"); got != "hit" {
+		t.Errorf("resubmitted topology echo cache state = %q, want hit", got)
+	}
+}
+
+func TestTopologyBlindAblationSplitsPlanKey(t *testing.T) {
+	topo := &TopologySpec{NodesPerRack: 1, Oversub: 4}
+	aware, err := PlanRequest{Topology: topo}.canonicalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blind, err := PlanRequest{Topology: topo, Options: PlanOptions{AssumeFlatTopology: true}}.canonicalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aware.sessionKey() != blind.sessionKey() {
+		t.Error("the ablation must share the session (same cluster, same graph)")
+	}
+	if aware.planKey(lancet.FrameworkLancet) == blind.planKey(lancet.FrameworkLancet) {
+		t.Error("assume_flat_topology must split the Lancet plan entry")
+	}
+}

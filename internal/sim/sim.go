@@ -15,6 +15,7 @@ import (
 	"sort"
 
 	"lancet/internal/cost"
+	"lancet/internal/hw"
 	"lancet/internal/ir"
 )
 
@@ -58,6 +59,11 @@ type Breakdown struct {
 	// it converges toward AllToAllUs, under balanced routing it is the
 	// (cheaper) unpadded share.
 	IrregularA2AUs float64
+	// A2ATierUs attributes all-to-all busy time to the topology tier that
+	// bounds each exchange (DESIGN.md §11): on a flat fabric everything
+	// lands on NVLink or NIC; an oversubscribed spine pulls time into the
+	// spine bucket. Indexed by hw.Tier.
+	A2ATierUs [hw.NumTiers]float64
 }
 
 // Timeline is the result of a simulated iteration.
@@ -112,6 +118,7 @@ func (e *Executor) Run(g *ir.Graph, order []int) (*Timeline, error) {
 	tl := &Timeline{Spans: make([]Span, 0, len(order))}
 
 	irregularUs := 0.0
+	var tierUs [hw.NumTiers]float64
 	for _, id := range order {
 		in := g.Instr(id)
 		stream := StreamCompute
@@ -133,12 +140,20 @@ func (e *Executor) Run(g *ir.Graph, order []int) (*Timeline, error) {
 		if irregular {
 			irregularUs += dur
 		}
+		if in.Op == ir.OpAllToAll {
+			// Attribute the exchange to its bounding tier. Overridden
+			// (irregular) durations are classified by the instruction's
+			// padded payload: capacity caps the irregular exchange at the
+			// padded pattern, so the two share a bottleneck tier.
+			tierUs[e.Cost.A2ABottleneck(in.Bytes, in.CommDevices)] += dur
+		}
 		if span.EndUs > tl.TotalUs {
 			tl.TotalUs = span.EndUs
 		}
 	}
 	tl.Breakdown = computeBreakdown(g, tl.Spans)
 	tl.IrregularA2AUs = irregularUs
+	tl.A2ATierUs = tierUs
 	return tl, nil
 }
 

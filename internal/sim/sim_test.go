@@ -252,3 +252,42 @@ func TestIntervalHelpers(t *testing.T) {
 }
 
 func close2(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestA2ATierBreakdown(t *testing.T) {
+	// On the flat 2-node cluster the exchange is NIC-bound; behind an 8:1
+	// oversubscribed spine the same exchange is spine-bound. The breakdown
+	// must attribute the a2a busy time to the right bucket, and the buckets
+	// must sum to the a2a total.
+	g, flatModel := fixture()
+	over, err := hw.V100Cluster(2).WithTopology(hw.Topology{NodesPerRack: 1, Oversubscription: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		m    *cost.Model
+		want hw.Tier
+	}{
+		{"flat", flatModel, hw.TierNIC},
+		{"oversubscribed", cost.NewModel(over), hw.TierSpine},
+	} {
+		ex := &Executor{Cost: tc.m}
+		tl, err := ex.Run(g, g.DefaultSchedule())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tl.A2ATierUs[tc.want] <= 0 {
+			t.Errorf("%s: tier %v bucket empty, breakdown %v", tc.name, tc.want, tl.A2ATierUs)
+		}
+		sum := 0.0
+		for _, v := range tl.A2ATierUs {
+			sum += v
+		}
+		if math.Abs(sum-tl.AllToAllUs) > 1e-9*tl.AllToAllUs {
+			t.Errorf("%s: tier buckets sum to %v, AllToAllUs %v", tc.name, sum, tl.AllToAllUs)
+		}
+		if sum != tl.A2ATierUs[tc.want] {
+			t.Errorf("%s: time leaked outside the %v bucket: %v", tc.name, tc.want, tl.A2ATierUs)
+		}
+	}
+}

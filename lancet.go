@@ -50,6 +50,11 @@ type (
 	ModelConfig = model.Config
 	// Cluster is the simulated hardware (see MustCluster).
 	Cluster = hw.Cluster
+	// Topology is the cluster's network hierarchy above the node boundary:
+	// nodes per rack switch and the spine's oversubscription factor
+	// (DESIGN.md §11). Attach one with Cluster.WithTopology; the zero value
+	// is the flat fabric.
+	Topology = hw.Topology
 	// GateKind selects the MoE routing algorithm.
 	GateKind = model.GateKind
 )
@@ -202,6 +207,13 @@ type Options struct {
 	// replays the real skewed traffic, so comparing this plan against the
 	// default quantifies exactly what knowing the traffic *shape* buys.
 	AssumeUniformRouting bool
+	// AssumeFlatTopology makes every optimization pass price communication
+	// as if the cluster's fabric were flat — no racks, no oversubscribed
+	// spine — while simulation still replays the real hierarchical topology
+	// (DESIGN.md §11). The topology-blind planner ablation: comparing this
+	// plan against the default quantifies what knowing the fabric shape
+	// buys, exactly as AssumeUniformRouting does for traffic shape.
+	AssumeFlatTopology bool
 }
 
 // Session holds a model instance built for a cluster, ready to be planned
@@ -233,8 +245,9 @@ type Session struct {
 
 	costRAF *cost.Model
 
-	mu       sync.Mutex              // guards profiles; plans of one session may run concurrently
+	mu       sync.Mutex              // guards profiles and costFlat; plans of one session may run concurrently
 	profiles map[int]*routingProfile // cache: micro-batch count -> profile
+	costFlat *cost.Model             // lazy: prices the cluster as if its topology were flat
 }
 
 // routingProfile is what one functional gate run over a proxy batch tells
@@ -355,6 +368,21 @@ func (s *Session) routingContext() (*netsim.RoutingProfile, float64, error) {
 	return p.net, frac, nil
 }
 
+// flatCost returns the cost model the topology-blind planner prices with:
+// the session's cluster stripped to a flat fabric. Built lazily once; on an
+// already-flat cluster it is the shared model.
+func (s *Session) flatCost() *cost.Model {
+	if s.Cluster.FlatTopology() {
+		return s.costRAF
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.costFlat == nil {
+		s.costFlat = cost.NewModel(s.Cluster.Flat())
+	}
+	return s.costFlat
+}
+
 // Lancet runs both optimization passes and returns the optimized plan.
 func (s *Session) Lancet(opts Options) (*Plan, error) {
 	start := time.Now()
@@ -364,6 +392,14 @@ func (s *Session) Lancet(opts Options) (*Plan, error) {
 		sess: s, costs: s.costRAF,
 		spec:     baselines.Spec{Name: "Lancet", ComputeScale: 1.0, Memory: model.MemoryCompiled},
 		overlaps: true,
+	}
+
+	// The passes price against planCost; simulation (plan.costs) always
+	// charges the cluster's real topology. The two differ only under the
+	// AssumeFlatTopology ablation.
+	planCost := s.costRAF
+	if opts.AssumeFlatTopology {
+		planCost = s.flatCost()
 	}
 
 	if opts.PrioritizeAllToAll {
@@ -379,7 +415,7 @@ func (s *Session) Lancet(opts Options) (*Plan, error) {
 		if opts.DWFirstFit {
 			strat = dwsched.FirstFit
 		}
-		res, err := dwsched.Run(g, s.costRAF, dwsched.Options{Strategy: strat})
+		res, err := dwsched.Run(g, planCost, dwsched.Options{Strategy: strat})
 		if err != nil {
 			return nil, fmt.Errorf("lancet: dW schedule pass: %w", err)
 		}
@@ -404,7 +440,7 @@ func (s *Session) Lancet(opts Options) (*Plan, error) {
 		}
 		popts.Profile, popts.PayloadFraction = prof, frac
 		if popts.GroupUs == 0 {
-			popts.GroupUs = s.autoGroupUs()
+			popts.GroupUs = s.autoGroupUs(planCost)
 		}
 		if popts.MaxRangeGroups == 0 {
 			popts.MaxRangeGroups = 7 // ~ five groups between MoE layers plus the core
@@ -415,7 +451,7 @@ func (s *Session) Lancet(opts Options) (*Plan, error) {
 		// Paper Sec. 7: rho starts at 8 and halves (4, then 2) when the
 		// partition staging buffers would not fit in device memory.
 		for {
-			res, err := partition.Run(g, s.costRAF, popts)
+			res, err := partition.Run(g, planCost, popts)
 			if err != nil {
 				return nil, fmt.Errorf("lancet: partition pass: %w", err)
 			}
@@ -453,14 +489,15 @@ func (s *Session) partitionFits(res *partition.Result) bool {
 }
 
 // autoGroupUs sizes gamma so roughly five groups fit between consecutive
-// MoE layers (paper Sec. 7, hyper-parameters).
-func (s *Session) autoGroupUs() float64 {
+// MoE layers (paper Sec. 7, hyper-parameters), priced with the planner's
+// cost model so a topology-blind planner also groups blind.
+func (s *Session) autoGroupUs(cm *cost.Model) float64 {
 	fwd := 0.0
 	for _, in := range s.Built.Graph.Instrs {
 		if in.Phase != ir.Forward {
 			break
 		}
-		fwd += s.costRAF.PredictInstr(in)
+		fwd += cm.PredictInstr(in)
 	}
 	n := s.Config.NumMoELayers()
 	if n == 0 {
@@ -566,6 +603,13 @@ type Report struct {
 	// workloads, the unpadded payload for balanced ones. Zero for padded
 	// baselines.
 	IrregularA2AMs float64
+	// A2ABoundNVLinkMs, A2ABoundNICMs and A2ABoundSpineMs decompose
+	// AllToAllMs by the topology tier bounding each exchange (DESIGN.md
+	// §11): on a flat fabric the spine bucket is zero; under an
+	// oversubscribed spine the all-to-all time migrates into it.
+	A2ABoundNVLinkMs float64
+	A2ABoundNICMs    float64
+	A2ABoundSpineMs  float64
 	// OOM propagates the plan's memory verdict.
 	OOM bool
 }
@@ -599,6 +643,9 @@ func (p *Plan) Simulate(seed int64) (*Report, error) {
 		CommMs:                 tl.CommBusyUs / 1000,
 		ComputeMs:              tl.ComputeBusyUs / 1000,
 		IrregularA2AMs:         tl.IrregularA2AUs / 1000,
+		A2ABoundNVLinkMs:       tl.A2ATierUs[hw.TierNVLink] / 1000,
+		A2ABoundNICMs:          tl.A2ATierUs[hw.TierNIC] / 1000,
+		A2ABoundSpineMs:        tl.A2ATierUs[hw.TierSpine] / 1000,
 		OOM:                    p.OOM,
 	}, nil
 }
