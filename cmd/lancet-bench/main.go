@@ -47,6 +47,7 @@ func main() {
 		with     = flag.String("with", "", "candidate -json document for -compare")
 		tol      = flag.Float64("tolerance", 0.15, "relative drift allowed by -compare before a latency counts as regressed")
 	)
+	flag.Float64Var(tol, "tol", 0.15, "shorthand for -tolerance")
 	flag.Parse()
 
 	if *compare != "" || *with != "" {

@@ -30,6 +30,7 @@ func main() {
 		clusterT  = flag.String("cluster", "V100", "cluster GPU type: V100 (p3dn) or A100 (p4de)")
 		gpus      = flag.Int("gpus", 16, "total GPUs (multiple of 8 for multi-node)")
 		batch     = flag.Int("batch", 0, "per-GPU batch size (0 = paper default)")
+		classesF  = flag.String("classes", "", "mixed-generation fleet, e.g. 1xA100+1xV100 (nodes per class; replaces -cluster/-gpus; first class is the hetero-blind assumption)")
 		gateName  = flag.String("gate", "switch", "gate: switch, top2, bpr, random, hash, expert_choice")
 		seed      = flag.Int64("seed", 1, "simulation seed")
 		rho       = flag.Int("rho", 0, "max partitions (0 = default 8)")
@@ -64,8 +65,21 @@ func main() {
 	})
 	cfg.SharedExpert = *shared
 	cfg.ZeRO3 = *zero3
-	cluster, err := lancet.NewCluster(*clusterT, *gpus)
-	if err != nil {
+	var cluster lancet.Cluster
+	if *classesF != "" {
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "cluster" || f.Name == "gpus" {
+				log.Fatalf("-classes replaces -%s; specify the fleet one way", f.Name)
+			}
+		})
+		classes, err := lancet.ParseClasses(*classesF)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if cluster, err = lancet.NewHeteroCluster(classes...); err != nil {
+			log.Fatal(err)
+		}
+	} else if cluster, err = lancet.NewCluster(*clusterT, *gpus); err != nil {
 		log.Fatal(err)
 	}
 	if *oversub != 0 || *racksize != 0 {
@@ -131,7 +145,7 @@ func main() {
 			Gate       string     `json:"gate"`
 			Frameworks []fwResult `json:"frameworks"`
 			Speedup    float64    `json:"speedup_over_best_baseline,omitempty"`
-		}{sess.Config.Name, cluster.String(), *gpus, sess.Config.Gate.String(), results, speedup}, "", "  ")
+		}{sess.Config.Name, cluster.String(), cluster.TotalGPUs(), sess.Config.Gate.String(), results, speedup}, "", "  ")
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -400,3 +400,133 @@ func TestFlatTopologyPlansUnchanged(t *testing.T) {
 		t.Errorf("flat cluster reported %.3f ms spine-bound a2a, want 0", rb.A2ABoundSpineMs)
 	}
 }
+
+// heteroTestCluster builds an aA100 + vV100 mixed fleet.
+func heteroTestCluster(t *testing.T, a, v int) Cluster {
+	t.Helper()
+	fast, err := ClassForGPU("A100", a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := ClassForGPU("V100", v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewHeteroCluster(fast, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestHeteroPlannedBeatsUniformPlanned(t *testing.T) {
+	// The acceptance bar of heterogeneity-aware planning (DESIGN.md §12):
+	// on a mixed fleet, the plan priced at the slowest participating class
+	// must beat the plan priced for the fast base class, replayed on the
+	// same mixed fleet. Averaged over seeds so per-op jitter cannot flip
+	// the comparison.
+	for _, mix := range [][2]int{{2, 2}, {3, 3}} {
+		sess, err := NewSession(GPT2SMoE(0), heteroTestCluster(t, mix[0], mix[1]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		blind, err := sess.Lancet(Options{AssumeUniformHardware: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		aware, err := sess.Lancet(Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := blind.SimulateN(5, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ra, err := aware.SimulateN(5, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ra.MeanMs >= rb.MeanMs {
+			t.Errorf("mix %dxA100+%dxV100: hetero-planned %.2f ms should beat uniform-planned %.2f ms",
+				mix[0], mix[1], ra.MeanMs, rb.MeanMs)
+		}
+		// The replay attributes the compute lag to the slow class on both
+		// plans — the straggler breakdown is a property of the fleet, not
+		// of planner awareness.
+		for name, rep := range map[string]*ReportStats{"blind": rb, "aware": ra} {
+			lag := rep.MeanReport.StragglerClassMs["V100"]
+			if lag <= 0 || lag >= rep.MeanMs {
+				t.Errorf("%s replay: V100 straggler %.2f ms out of range (iter %.2f ms)",
+					name, lag, rep.MeanMs)
+			}
+		}
+	}
+}
+
+func TestUniformHardwarePlansUnchanged(t *testing.T) {
+	// On a uniform cluster AssumeUniformHardware is a no-op: both options
+	// must produce byte-identical plan shapes and simulated times, and the
+	// degenerate single-class spelling of the same fleet must reproduce the
+	// uniform predictions within 2% (they share the closed forms exactly;
+	// the tolerance guards the pin).
+	sess, err := NewSession(GPT2SMoE(0), MustCluster("V100", 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sess.Lancet(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sess.Lancet(Options{AssumeUniformHardware: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, rb := a.MustSimulate(3), b.MustSimulate(3)
+	if ra.IterationMs != rb.IterationMs {
+		t.Errorf("uniform cluster: ablated plan %.3f ms differs from default %.3f ms", rb.IterationMs, ra.IterationMs)
+	}
+	if ra.StragglerClassMs != nil {
+		t.Errorf("uniform cluster reported straggler classes: %v", ra.StragglerClassMs)
+	}
+
+	nc, err := ClassForGPU("V100", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := NewHeteroCluster(nc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sessSingle, err := NewSession(GPT2SMoE(0), single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := sessSingle.Lancet(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := ps.MustSimulate(3)
+	if rel := rs.IterationMs/ra.IterationMs - 1; rel > 0.02 || rel < -0.02 {
+		t.Errorf("single-class cluster %.2f ms deviates from uniform %.2f ms by %.1f%%",
+			rs.IterationMs, ra.IterationMs, rel*100)
+	}
+}
+
+func TestParseClasses(t *testing.T) {
+	classes, err := ParseClasses("2xA100+1xV100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(classes) != 2 || classes[0].Name != "A100" || classes[0].Count != 2 ||
+		classes[1].Name != "V100" || classes[1].Count != 1 {
+		t.Errorf("ParseClasses = %+v", classes)
+	}
+	if _, err := ParseClasses("2xA100, 1xV100"); err != nil {
+		t.Errorf("comma-separated spelling should parse: %v", err)
+	}
+	for _, bad := range []string{"", "A100", "0xA100", "-1xV100", "2xH100", "x"} {
+		if _, err := ParseClasses(bad); err == nil {
+			t.Errorf("ParseClasses(%q) should error", bad)
+		}
+	}
+}

@@ -200,19 +200,29 @@ func (m *Model) Stats() CacheStats {
 // Ground truth: analytic hardware model.
 // ---------------------------------------------------------------------------
 
-// effFLOPS returns achieved FLOP/s for a kernel doing the given work. Small
-// kernels under-utilize streaming multiprocessors; utilization ramps with
-// work following u(f) = MaxUtilization * f / (f + f_half).
-func (m *Model) effFLOPS(flops float64) float64 {
+// effFLOPSAt returns achieved FLOP/s for a kernel doing the given work on a
+// device with the given peak throughput. Small kernels under-utilize
+// streaming multiprocessors; utilization ramps with work following
+// u(f) = MaxUtilization * f / (f + f_half).
+func (m *Model) effFLOPSAt(flops, peakTFLOPs float64) float64 {
 	g := m.Cluster.Node.GPU
 	fHalf := g.SaturationGFLOP * 1e9
 	util := g.MaxUtilization * flops / (flops + fHalf)
-	return g.PeakTFLOPS * 1e12 * util
+	return peakTFLOPs * 1e12 * util
 }
 
 // GroundComputeUs prices a compute instruction on the device: kernel launch
-// overhead plus the larger of its compute-roofline and memory-roofline time.
+// overhead plus the larger of its compute-roofline and memory-roofline
+// time. On a mixed fleet the SPMD iteration waits for its slowest replica,
+// so the roofline runs at the weakest class's throughput (DESIGN.md §12).
 func (m *Model) GroundComputeUs(in *ir.Instr) float64 {
+	return m.groundComputeUsAt(in, m.Cluster.SlowestTFLOPs())
+}
+
+// groundComputeUsAt prices a compute instruction at a specific per-GPU peak
+// throughput — the shared form behind uniform pricing and the straggler
+// decomposition.
+func (m *Model) groundComputeUsAt(in *ir.Instr, peakTFLOPs float64) float64 {
 	if in.FLOPs == 0 && in.Bytes == 0 {
 		// Zero-work plumbing (batch-axis Partition/Reconstruct are views
 		// into contiguous buffers) costs nothing.
@@ -226,13 +236,29 @@ func (m *Model) GroundComputeUs(in *ir.Instr) float64 {
 	t := g.KernelLaunchUs * kernels
 	if in.FLOPs > 0 {
 		perKernel := in.FLOPs / kernels
-		t += in.FLOPs / m.effFLOPS(perKernel) * 1e6 / m.ComputeScale
+		t += in.FLOPs / m.effFLOPSAt(perKernel, peakTFLOPs) * 1e6 / m.ComputeScale
 	}
 	if in.Bytes > 0 {
 		// Memory-bound component: sustained ~75% of peak DRAM bandwidth.
 		t += float64(in.Bytes) / (g.MemBWGBs * 1e9 * 0.75) * 1e6
 	}
 	return t
+}
+
+// ComputeStragglerUs decomposes a compute instruction's heterogeneity
+// penalty: the extra microseconds the iteration spends because the slowest
+// class lags the fastest, plus the lagging class's name. Uniform fleets and
+// communication instructions report no straggler.
+func (m *Model) ComputeStragglerUs(in *ir.Instr) (string, float64) {
+	straggler, ok := m.Cluster.StragglerClass()
+	if !ok || in.IsComm() {
+		return "", 0
+	}
+	extra := m.GroundComputeUs(in) - m.groundComputeUsAt(in, m.Cluster.FastestTFLOPs())
+	if extra <= 0 {
+		return straggler.Name, 0
+	}
+	return straggler.Name, extra
 }
 
 // groundAllToAllUs prices an all-to-all where every device exchanges
@@ -266,7 +292,7 @@ func (m *Model) a2aTierUs(bytesPerDevice int64, devices int) [hw.NumTiers]float6
 		return tiers
 	}
 	c := m.Cluster
-	gpn := c.Node.GPUsPerNode
+	gpn := c.MinGPUsPerNode()
 	if devices < gpn {
 		gpn = devices
 	}
@@ -291,7 +317,7 @@ func (m *Model) a2aTierUs(bytesPerDevice int64, devices int) [hw.NumTiers]float6
 	intraBytes := perPeer * intraPeers
 	interBytes := perPeer * interPeers // NIC carries rack and spine traffic alike
 	spineBytes := perPeer * spinePeers
-	tiers[hw.TierNVLink] = intraBytes / (effBW(c.Node.NVLinkGBs, intraBytes) * 1e9) * 1e6
+	tiers[hw.TierNVLink] = intraBytes / (effBW(c.MinNVLinkGBs(), intraBytes) * 1e9) * 1e6
 	if interPeers > 0 {
 		tiers[hw.TierNIC] = interBytes / (effBW(c.PerGPUNICGBs(), interBytes) * 1e9) * 1e6
 	}
@@ -355,7 +381,7 @@ func (m *Model) groundHierarchicalUs(bytes int64, devices int, directions float6
 		return 0
 	}
 	c := m.Cluster
-	gpn := c.Node.GPUsPerNode
+	gpn := c.MinGPUsPerNode()
 	nodes := (devices + gpn - 1) / gpn
 	rackNodes := c.RackNodes()
 	if rackNodes > nodes {
@@ -366,7 +392,7 @@ func (m *Model) groundHierarchicalUs(bytes int64, devices int, directions float6
 	alpha := 20.0 + 1.5*math.Log2(float64(devices))
 
 	// Intra-node reduce-scatter/all-gather over NVLink.
-	intra := directions * vol * float64(gpn-1) / float64(gpn) / (effBW(c.Node.NVLinkGBs, vol) * 1e9) * 1e6
+	intra := directions * vol * float64(gpn-1) / float64(gpn) / (effBW(c.MinNVLinkGBs(), vol) * 1e9) * 1e6
 	if gpn <= 1 {
 		intra = 0
 	}

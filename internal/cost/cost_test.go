@@ -51,8 +51,8 @@ func TestPartitionOverhead(t *testing.T) {
 
 func TestEfficiencyRampsWithSize(t *testing.T) {
 	m := newTestModel()
-	small := m.effFLOPS(1e7)
-	large := m.effFLOPS(1e12)
+	small := m.effFLOPSAt(1e7, m.Cluster.Node.GPU.PeakTFLOPS)
+	large := m.effFLOPSAt(1e12, m.Cluster.Node.GPU.PeakTFLOPS)
 	if small >= large {
 		t.Errorf("efficiency should grow with kernel size: %v >= %v", small, large)
 	}

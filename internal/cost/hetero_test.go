@@ -1,0 +1,124 @@
+package cost
+
+import (
+	"testing"
+
+	"lancet/internal/hw"
+	"lancet/internal/ir"
+)
+
+// heteroModel prices the canonical mixed fleet: 2 A100 nodes + 2 V100
+// nodes.
+func heteroModel(t *testing.T) *Model {
+	t.Helper()
+	a, err := hw.ClassForGPU("A100", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := hw.ClassForGPU("V100", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := hw.ClusterFromClasses([]hw.NodeClass{a, v})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewModel(c)
+}
+
+// The acceptance pin of DESIGN.md §12: a single-class cluster must
+// reproduce the uniform closed forms within 2% across the message ramp, for
+// every collective and for compute.
+func TestSingleClassDegeneratePredictions(t *testing.T) {
+	uniform := NewModel(hw.V100Cluster(2))
+	nc, err := hw.ClassForGPU("V100", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := hw.V100Cluster(2).WithClasses(nc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := NewModel(cl)
+
+	for bytes := int64(4 << 10); bytes <= 256<<20; bytes *= 4 {
+		for _, op := range []ir.OpKind{ir.OpAllToAll, ir.OpAllReduce, ir.OpAllGather} {
+			u := uniform.groundCommUs(op, bytes, 16)
+			s := single.groundCommUs(op, bytes, 16)
+			if rel := (s - u) / u; rel > 0.02 || rel < -0.02 {
+				t.Errorf("%v at %d bytes: single-class %.2f us vs uniform %.2f us (%.1f%%)",
+					op, bytes, s, u, rel*100)
+			}
+		}
+	}
+	in := &ir.Instr{Op: ir.OpMatMul, FLOPs: 1e10, Bytes: 1 << 20}
+	u, s := uniform.GroundComputeUs(in), single.GroundComputeUs(in)
+	if rel := (s - u) / u; rel > 0.02 || rel < -0.02 {
+		t.Errorf("compute: single-class %.2f us vs uniform %.2f us", s, u)
+	}
+}
+
+// Mixed-fleet compute runs at the slowest participating class; the
+// straggler decomposition attributes the lag to it.
+func TestHeteroComputePricedAtSlowestClass(t *testing.T) {
+	hetero := heteroModel(t)
+	fastOnly := NewModel(hw.A100Cluster(4))
+	in := &ir.Instr{Op: ir.OpMatMul, FLOPs: 1e10}
+
+	slow := hetero.GroundComputeUs(in)
+	fast := fastOnly.GroundComputeUs(in)
+	if slow <= fast {
+		t.Errorf("mixed-fleet compute %.2f us should exceed all-A100 %.2f us", slow, fast)
+	}
+
+	class, extra := hetero.ComputeStragglerUs(in)
+	if class != "V100" || extra <= 0 {
+		t.Errorf("straggler = (%q, %.2f), want positive V100 lag", class, extra)
+	}
+	// The decomposition is exact: slow = fast-at-base + extra, where the
+	// fast reference shares the hetero model's base GPU curve.
+	ref := hetero.groundComputeUsAt(in, hetero.Cluster.FastestTFLOPs())
+	if got := ref + extra; !closeTo(got, slow, 1e-9) {
+		t.Errorf("straggler decomposition leaks: %.4f + %.4f != %.4f", ref, extra, slow)
+	}
+
+	// Uniform fleets report no straggler; neither do comm instructions.
+	if class, extra := fastOnly.ComputeStragglerUs(in); class != "" || extra != 0 {
+		t.Errorf("uniform fleet straggler = (%q, %g), want none", class, extra)
+	}
+	comm := &ir.Instr{Op: ir.OpAllToAll, Bytes: 1 << 20, CommDevices: 32}
+	if _, extra := hetero.ComputeStragglerUs(comm); extra != 0 {
+		t.Error("comm instructions carry no compute straggler")
+	}
+}
+
+// Mixed-fleet collectives run at the weakest per-tier bandwidth: with V100
+// nodes in the fleet, inter-node exchanges price like an all-V100 fabric of
+// the same shape, and strictly slower than the all-A100 one.
+func TestHeteroCollectivesPricedAtMinBandwidth(t *testing.T) {
+	hetero := heteroModel(t)
+	fastOnly := NewModel(hw.A100Cluster(4))
+	slowOnly := NewModel(hw.V100Cluster(4))
+
+	for bytes := int64(1 << 20); bytes <= 64<<20; bytes *= 8 {
+		h := hetero.groundCommUs(ir.OpAllToAll, bytes, 32)
+		f := fastOnly.groundCommUs(ir.OpAllToAll, bytes, 32)
+		s := slowOnly.groundCommUs(ir.OpAllToAll, bytes, 32)
+		if h <= f {
+			t.Errorf("a2a at %d bytes: mixed %.2f us should exceed all-A100 %.2f us", bytes, h, f)
+		}
+		// The V100 slice's NVLink and NIC are the fleet minimum, so the
+		// mixed closed form coincides with the all-V100 one.
+		if rel := (h - s) / s; rel > 0.001 || rel < -0.001 {
+			t.Errorf("a2a at %d bytes: mixed %.2f us should match all-V100 %.2f us", bytes, h, s)
+		}
+	}
+}
+
+func closeTo(a, b, tol float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}

@@ -1,0 +1,146 @@
+package cost
+
+import (
+	"math/rand"
+	"testing"
+
+	"lancet/internal/hw"
+	"lancet/internal/ir"
+)
+
+// propertyClusters is the fixture grid the closed-form properties are swept
+// over: flat uniform fabrics, an oversubscribed hierarchy, and a mixed
+// fleet — every shape the collective closed forms can take.
+func propertyClusters(t *testing.T) map[string]hw.Cluster {
+	t.Helper()
+	over, err := hw.V100Cluster(4).WithTopology(hw.Topology{NodesPerRack: 1, Oversubscription: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := hw.ClassForGPU("A100", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := hw.ClassForGPU("V100", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed, err := hw.ClusterFromClasses([]hw.NodeClass{a, v})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]hw.Cluster{
+		"v100-flat":  hw.V100Cluster(2),
+		"a100-flat":  hw.A100Cluster(4),
+		"oversub8":   over,
+		"mixed-a+v":  mixed,
+		"singlenode": hw.V100Cluster(1),
+	}
+}
+
+// commOps are the collective closed forms under test.
+var commOps = []ir.OpKind{ir.OpAllToAll, ir.OpAllReduce, ir.OpAllGather}
+
+// Property: every collective closed form is monotonically non-decreasing in
+// message bytes. Swept over a seeded random byte ladder so the property is
+// checked between table points, not just on powers of two.
+func TestCommClosedFormsMonotonicInBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for name, cluster := range propertyClusters(t) {
+		m := NewModel(cluster)
+		devices := cluster.TotalGPUs()
+		// A strictly increasing ladder of ~60 random sizes from 1 KiB to
+		// ~1 GiB.
+		bytes := int64(1024)
+		var ladder []int64
+		for bytes < 1<<30 {
+			ladder = append(ladder, bytes)
+			bytes += 1 + rng.Int63n(bytes)
+		}
+		for _, op := range commOps {
+			prev := -1.0
+			for _, b := range ladder {
+				cur := m.groundCommUs(op, b, devices)
+				if cur < prev {
+					t.Errorf("%s/%v: closed form not monotonic: %d bytes -> %.4f us after %.4f us",
+						name, op, b, cur, prev)
+				}
+				prev = cur
+			}
+		}
+	}
+}
+
+// Property: an all-reduce moves at most twice an all-gather's volume
+// (reduce-scatter + all-gather), so its closed form is bounded by 2x the
+// all-gather bound at every size — the startup latency is paid once, not
+// twice.
+func TestAllReduceBoundedByTwiceAllGather(t *testing.T) {
+	for name, cluster := range propertyClusters(t) {
+		m := NewModel(cluster)
+		devices := cluster.TotalGPUs()
+		for b := int64(1024); b <= 1<<30; b *= 2 {
+			ar := m.groundCommUs(ir.OpAllReduce, b, devices)
+			ag := m.groundCommUs(ir.OpAllGather, b, devices)
+			if ar > 2*ag {
+				t.Errorf("%s: all-reduce %.2f us exceeds 2x all-gather %.2f us at %d bytes",
+					name, ar, ag, b)
+			}
+			if ar < ag {
+				t.Errorf("%s: all-reduce %.2f us cheaper than all-gather %.2f us at %d bytes",
+					name, ar, ag, b)
+			}
+		}
+	}
+}
+
+// Property: every degenerate spelling of "no hierarchy, no mix" must
+// reproduce the flat uniform closed forms across the message ramp — the
+// topology (DESIGN.md §11) and heterogeneity (DESIGN.md §12) models are
+// strict extensions, not re-calibrations.
+func TestDegenerateFormsEqualFlatForms(t *testing.T) {
+	flat := NewModel(hw.V100Cluster(2))
+
+	singleRack, err := hw.V100Cluster(2).WithTopology(hw.Topology{NodesPerRack: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonBlocking, err := hw.V100Cluster(2).WithTopology(hw.Topology{NodesPerRack: 1, Oversubscription: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc, err := hw.ClassForGPU("V100", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	singleClass, err := hw.V100Cluster(2).WithClasses(nc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	splitClass, err := hw.V100Cluster(2).WithClasses(nc, nc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	degenerates := map[string]*Model{
+		"single-rack":  NewModel(singleRack),
+		"non-blocking": NewModel(nonBlocking),
+		"single-class": NewModel(singleClass),
+		"split-class":  NewModel(splitClass),
+	}
+	for name, m := range degenerates {
+		for b := int64(1024); b <= 1<<30; b *= 4 {
+			for _, op := range commOps {
+				want := flat.groundCommUs(op, b, 16)
+				got := m.groundCommUs(op, b, 16)
+				if got != want {
+					t.Errorf("%s/%v at %d bytes: %.6f us != flat %.6f us", name, op, b, got, want)
+				}
+			}
+		}
+		in := &ir.Instr{Op: ir.OpMatMul, FLOPs: 3e9, Bytes: 1 << 22}
+		if got, want := m.GroundComputeUs(in), flat.GroundComputeUs(in); got != want {
+			t.Errorf("%s compute: %.6f us != flat %.6f us", name, got, want)
+		}
+	}
+}

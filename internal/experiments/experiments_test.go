@@ -339,3 +339,30 @@ func TestTopologyPlanningAwareWins(t *testing.T) {
 		}
 	}
 }
+
+func TestHeteroPlanningAwareWins(t *testing.T) {
+	tab, err := HeteroPlanning(Params{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, row := range tab.Rows {
+		blind, aware := parseF(t, row[1]), parseF(t, row[2])
+		// The acceptance bar: on a mixed fleet the hetero-planned
+		// configuration beats the uniform-planned one.
+		if aware >= blind {
+			t.Errorf("fleet %s: hetero-planned %.1f ms should beat uniform-planned %.1f ms",
+				row[0], aware, blind)
+		}
+		if row[3] == "" || strings.Count(row[3], "/") != 1 {
+			t.Errorf("fleet %s: malformed pipeline column %q", row[0], row[3])
+		}
+		// The replay must attribute a positive compute lag to the V100
+		// slice.
+		if lag := parseF(t, row[4]); lag <= 0 || lag >= aware {
+			t.Errorf("fleet %s: V100 straggler %.1f ms out of range", row[0], lag)
+		}
+	}
+}

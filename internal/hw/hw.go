@@ -9,6 +9,11 @@
 // every node one hop from every other at full NIC bandwidth — which is what
 // all pre-topology code assumed.
 //
+// A Cluster is uniform by default; WithClasses declares a mixed-generation
+// fleet as an ordered list of NodeClass slices (DESIGN.md §12). A single
+// class collapses back to the uniform cluster, so every pre-heterogeneity
+// code path prices identically.
+//
 // All quantities are static specifications; timing derived from them lives in
 // package cost.
 package hw
@@ -16,6 +21,7 @@ package hw
 import (
 	"fmt"
 	"math"
+	"strings"
 )
 
 // GPUSpec describes a single accelerator.
@@ -134,7 +140,59 @@ func (t Topology) validate() error {
 	return nil
 }
 
-// Cluster is a homogeneous collection of nodes.
+// NodeClass is one homogeneous slice of a mixed-generation fleet: Count
+// nodes sharing a GPU count and the three quantities heterogeneity-aware
+// pricing needs — compute throughput, intra-node bandwidth and the node's
+// NIC budget (DESIGN.md §12). Memory capacity and kernel-launch behavior
+// stay with the cluster's base NodeSpec: classes shape timing, not fit.
+type NodeClass struct {
+	// Name labels the class in reports and straggler breakdowns, e.g.
+	// "V100".
+	Name string
+	// Count is the number of nodes of this class.
+	Count int
+	// GPUsPerNode is the accelerator count of one node of this class.
+	GPUsPerNode int
+	// TFLOPs is the per-GPU peak half-precision tensor throughput.
+	TFLOPs float64
+	// NVLinkGBs is the per-GPU intra-node interconnect bandwidth in GB/s.
+	NVLinkGBs float64
+	// NICGBs is the node's total NIC budget in GB/s, shared evenly across
+	// its GPUs.
+	NICGBs float64
+}
+
+// PerGPUNICGBs is the class's per-GPU share of its node NIC budget.
+func (nc NodeClass) PerGPUNICGBs() float64 { return nc.NICGBs / float64(nc.GPUsPerNode) }
+
+// sameSpec reports whether two classes price identically (names aside).
+func (nc NodeClass) sameSpec(o NodeClass) bool {
+	return nc.GPUsPerNode == o.GPUsPerNode && nc.TFLOPs == o.TFLOPs &&
+		nc.NVLinkGBs == o.NVLinkGBs && nc.NICGBs == o.NICGBs
+}
+
+// validate reports the first invalid field of class i as a *SpecError.
+func (nc NodeClass) validate(i int) error {
+	checks := []struct {
+		field string
+		value float64
+	}{
+		{"Count", float64(nc.Count)},
+		{"GPUsPerNode", float64(nc.GPUsPerNode)},
+		{"TFLOPs", nc.TFLOPs},
+		{"NVLinkGBs", nc.NVLinkGBs},
+		{"NICGBs", nc.NICGBs},
+	}
+	for _, ch := range checks {
+		if ch.value <= 0 || math.IsNaN(ch.value) || math.IsInf(ch.value, 0) {
+			return &SpecError{Field: fmt.Sprintf("Classes[%d].%s", i, ch.field), Value: ch.value}
+		}
+	}
+	return nil
+}
+
+// Cluster is a collection of nodes: uniform (every node is Node) unless
+// Classes declares a mixed-generation fleet.
 type Cluster struct {
 	Name  string
 	Nodes int
@@ -142,6 +200,14 @@ type Cluster struct {
 	// Topology is the network hierarchy above the nodes; the zero value is
 	// the flat single-rack fabric.
 	Topology Topology
+	// Classes, when non-empty, declares a heterogeneous fleet: class i's
+	// nodes occupy the next Classes[i].Count global node slots in order.
+	// Node then describes what a hetero-blind planner assumes fleet-wide
+	// (and still supplies memory capacity and kernel-launch behavior);
+	// per-class specs govern compute and network pricing. Empty means
+	// uniform. Always attach classes through WithClasses, which validates
+	// and canonicalizes (a single class collapses to the uniform form).
+	Classes []NodeClass
 }
 
 // SpecError reports a hardware specification field that would poison the
@@ -177,6 +243,18 @@ func (c Cluster) Validate() error {
 		if ch.value <= 0 || math.IsNaN(ch.value) || math.IsInf(ch.value, 0) {
 			return &SpecError{Field: ch.field, Value: ch.value}
 		}
+	}
+	nodes := 0
+	for i, nc := range c.Classes {
+		if err := nc.validate(i); err != nil {
+			return err
+		}
+		nodes += nc.Count
+	}
+	if len(c.Classes) > 0 && nodes != c.Nodes {
+		// WithClasses keeps Nodes and the class counts consistent; a
+		// hand-assembled mismatch would silently misclassify ranks.
+		return &SpecError{Field: "Nodes", Value: float64(c.Nodes)}
 	}
 	return c.Topology.validate()
 }
@@ -252,18 +330,24 @@ func V100Cluster(nodes int) Cluster { return mustCluster("V100", nodes, P3dn()) 
 // A100Cluster returns an n-node p4de cluster (8 GPUs per node).
 func A100Cluster(nodes int) Cluster { return mustCluster("A100", nodes, P4de()) }
 
+// nodeSpecFor resolves a GPU type name to its paper node spec.
+func nodeSpecFor(gpuType string) (NodeSpec, string, error) {
+	switch gpuType {
+	case "V100", "v100":
+		return P3dn(), "V100", nil
+	case "A100", "a100":
+		return P4de(), "A100", nil
+	}
+	return NodeSpec{}, "", fmt.Errorf("hw: unknown GPU type %q", gpuType)
+}
+
 // ClusterForGPUs returns a cluster of the given type sized to hold gpus
 // accelerators. gpus must be a multiple of the node size for multi-node
 // clusters; a single partial node is allowed for small experiments.
 func ClusterForGPUs(gpuType string, gpus int) (Cluster, error) {
-	var node NodeSpec
-	switch gpuType {
-	case "V100", "v100":
-		node = P3dn()
-	case "A100", "a100":
-		node = P4de()
-	default:
-		return Cluster{}, fmt.Errorf("hw: unknown GPU type %q", gpuType)
+	node, _, err := nodeSpecFor(gpuType)
+	if err != nil {
+		return Cluster{}, err
 	}
 	if gpus <= 0 {
 		return Cluster{}, fmt.Errorf("hw: invalid GPU count %d", gpus)
@@ -300,6 +384,240 @@ func (c Cluster) Flat() Cluster {
 	return c
 }
 
+// ClassForGPU builds the NodeClass of `nodes` nodes of a known GPU type —
+// the named-class currency of the serving layer's `classes` field and the
+// CLI's -classes flag.
+func ClassForGPU(gpuType string, nodes int) (NodeClass, error) {
+	node, name, err := nodeSpecFor(gpuType)
+	if err != nil {
+		return NodeClass{}, err
+	}
+	return NodeClass{
+		Name:        name,
+		Count:       nodes,
+		GPUsPerNode: node.GPUsPerNode,
+		TFLOPs:      node.GPU.PeakTFLOPS,
+		NVLinkGBs:   node.NVLinkGBs,
+		NICGBs:      node.NIC.BandwidthGbps * float64(node.NIC.Count) / 8.0,
+	}, nil
+}
+
+// WithClasses returns a copy of the cluster whose fleet is the ordered
+// class list, validating the combined specification. Adjacent classes with
+// identical specs merge, and a class list that collapses to a single class
+// degenerates to the uniform cluster (Classes empty, Node rewritten from
+// the class) — so every uniform spelling prices through the exact closed
+// forms the pre-heterogeneity model used. With two or more distinct
+// classes, Node keeps describing the hetero-blind planner's assumption
+// (and the memory model); Nodes becomes the class total.
+func (c Cluster) WithClasses(classes ...NodeClass) (Cluster, error) {
+	merged := make([]NodeClass, 0, len(classes))
+	for _, nc := range classes {
+		if n := len(merged); n > 0 && merged[n-1].sameSpec(nc) && merged[n-1].Name == nc.Name {
+			merged[n-1].Count += nc.Count
+			continue
+		}
+		merged = append(merged, nc)
+	}
+	switch len(merged) {
+	case 0:
+		c.Classes = nil
+	case 1:
+		nc := merged[0]
+		if err := nc.validate(0); err != nil {
+			return Cluster{}, err
+		}
+		c.Classes = nil
+		c.Nodes = nc.Count
+		c.Node.GPUsPerNode = nc.GPUsPerNode
+		c.Node.NVLinkGBs = nc.NVLinkGBs
+		c.Node.GPU.PeakTFLOPS = nc.TFLOPs
+		c.Node.NIC = NICSpec{BandwidthGbps: nc.NICGBs * 8.0, Count: 1}
+		if nc.Name != "" {
+			c.Name = nc.Name
+		}
+	default:
+		c.Classes = merged
+		c.Nodes = 0
+		for _, nc := range merged {
+			c.Nodes += nc.Count
+		}
+	}
+	if err := c.Validate(); err != nil {
+		return Cluster{}, err
+	}
+	return c, nil
+}
+
+// ClusterFromClasses assembles a cluster directly from an ordered class
+// list: the first class — what a hetero-blind planner assumes fleet-wide —
+// supplies the base node spec (it must name a known GPU type), and the
+// cluster name joins the class names.
+func ClusterFromClasses(classes []NodeClass) (Cluster, error) {
+	if len(classes) == 0 {
+		return Cluster{}, fmt.Errorf("hw: empty class list")
+	}
+	node, _, err := nodeSpecFor(classes[0].Name)
+	if err != nil {
+		return Cluster{}, err
+	}
+	name := classes[0].Name
+	for _, nc := range classes[1:] {
+		if nc.Name != name {
+			name += "+" + nc.Name
+		}
+	}
+	base, err := NewCluster(name, classes[0].Count, node)
+	if err != nil {
+		return Cluster{}, err
+	}
+	return base.WithClasses(classes...)
+}
+
+// Heterogeneous reports whether the fleet mixes node classes.
+func (c Cluster) Heterogeneous() bool { return len(c.Classes) > 0 }
+
+// Uniform returns the hetero-blind view of the cluster: classes stripped,
+// every node assumed to be the base Node spec, total GPU count preserved.
+// On a uniform cluster it is the identity.
+func (c Cluster) Uniform() Cluster {
+	if !c.Heterogeneous() {
+		return c
+	}
+	gpus := c.TotalGPUs()
+	c.Classes = nil
+	c.Nodes = (gpus + c.Node.GPUsPerNode - 1) / c.Node.GPUsPerNode
+	return c
+}
+
+// baseClass is the uniform cluster's fleet viewed as a single class.
+func (c Cluster) baseClass() NodeClass {
+	return NodeClass{
+		Name:        c.Node.GPU.Name,
+		Count:       c.Nodes,
+		GPUsPerNode: c.Node.GPUsPerNode,
+		TFLOPs:      c.Node.GPU.PeakTFLOPS,
+		NVLinkGBs:   c.Node.NVLinkGBs,
+		NICGBs:      c.Node.NIC.BandwidthGbps * float64(c.Node.NIC.Count) / 8.0,
+	}
+}
+
+// classList is the fleet as classes: Classes, or the base node as a single
+// synthetic class.
+func (c Cluster) classList() []NodeClass {
+	if c.Heterogeneous() {
+		return c.Classes
+	}
+	return []NodeClass{c.baseClass()}
+}
+
+// ClassOf returns the index (into Classes) of the class hosting a global
+// GPU rank; 0 on a uniform cluster.
+func (c Cluster) ClassOf(rank int) int {
+	if !c.Heterogeneous() {
+		return 0
+	}
+	for i, nc := range c.Classes {
+		g := nc.Count * nc.GPUsPerNode
+		if rank < g {
+			return i
+		}
+		rank -= g
+	}
+	return len(c.Classes) - 1
+}
+
+// classSpec resolves the class hosting a rank (the base class when
+// uniform).
+func (c Cluster) classSpec(rank int) NodeClass {
+	if !c.Heterogeneous() {
+		return c.baseClass()
+	}
+	return c.Classes[c.ClassOf(rank)]
+}
+
+// nodeOf returns the global node index hosting a GPU rank, walking the
+// class layout when node sizes differ across classes.
+func (c Cluster) nodeOf(rank int) int {
+	if !c.Heterogeneous() {
+		return rank / c.Node.GPUsPerNode
+	}
+	node := 0
+	for _, nc := range c.Classes {
+		g := nc.Count * nc.GPUsPerNode
+		if rank < g {
+			return node + rank/nc.GPUsPerNode
+		}
+		rank -= g
+		node += nc.Count
+	}
+	return node - 1
+}
+
+// SlowestTFLOPs is the weakest participating class's per-GPU compute
+// throughput — what heterogeneity-aware compute pricing charges, since the
+// SPMD iteration waits on its slowest replica (DESIGN.md §12).
+func (c Cluster) SlowestTFLOPs() float64 {
+	min := math.Inf(1)
+	for _, nc := range c.classList() {
+		if nc.TFLOPs < min {
+			min = nc.TFLOPs
+		}
+	}
+	return min
+}
+
+// FastestTFLOPs is the strongest class's per-GPU compute throughput — the
+// reference the straggler breakdown measures lag against.
+func (c Cluster) FastestTFLOPs() float64 {
+	max := 0.0
+	for _, nc := range c.classList() {
+		if nc.TFLOPs > max {
+			max = nc.TFLOPs
+		}
+	}
+	return max
+}
+
+// StragglerClass returns the slowest-compute class and whether the fleet is
+// actually mixed (uniform fleets have no straggler to report).
+func (c Cluster) StragglerClass() (NodeClass, bool) {
+	if !c.Heterogeneous() {
+		return NodeClass{}, false
+	}
+	slow := c.Classes[0]
+	for _, nc := range c.Classes[1:] {
+		if nc.TFLOPs < slow.TFLOPs {
+			slow = nc
+		}
+	}
+	return slow, true
+}
+
+// MinNVLinkGBs is the weakest class's intra-node bandwidth — the effective
+// NVLink rate of a collective that spans classes.
+func (c Cluster) MinNVLinkGBs() float64 {
+	min := math.Inf(1)
+	for _, nc := range c.classList() {
+		if nc.NVLinkGBs < min {
+			min = nc.NVLinkGBs
+		}
+	}
+	return min
+}
+
+// MinGPUsPerNode is the smallest node size across classes, the conservative
+// peer-split geometry of the closed-form collectives.
+func (c Cluster) MinGPUsPerNode() int {
+	min := 0
+	for _, nc := range c.classList() {
+		if min == 0 || nc.GPUsPerNode < min {
+			min = nc.GPUsPerNode
+		}
+	}
+	return min
+}
+
 // RackNodes is the number of nodes sharing one rack switch, clamped to the
 // cluster: 0 (unset) or anything >= Nodes collapses to a single rack.
 func (c Cluster) RackNodes() int {
@@ -327,10 +645,10 @@ func (c Cluster) FlatTopology() bool {
 }
 
 // SameRack reports whether two global GPU ranks live under the same rack
-// switch.
+// switch. Racks group nodes in global node order regardless of class.
 func (c Cluster) SameRack(a, b int) bool {
-	perRack := c.RackNodes() * c.Node.GPUsPerNode
-	return a/perRack == b/perRack
+	perRack := c.RackNodes()
+	return c.nodeOf(a)/perRack == c.nodeOf(b)/perRack
 }
 
 // TierOf classifies the path between two global GPU ranks.
@@ -351,11 +669,13 @@ func (c Cluster) SpineGBsPerGPU() float64 {
 	return c.PerGPUNICGBs() / c.Topology.Oversub()
 }
 
-// TierGBsPerGPU is the per-GPU bandwidth of the given tier in GB/s.
+// TierGBsPerGPU is the fleet-wide effective per-GPU bandwidth of the given
+// tier in GB/s: on a mixed fleet, the slowest participating class's rate —
+// the conservative bound the closed-form collectives price with.
 func (c Cluster) TierGBsPerGPU(t Tier) float64 {
 	switch t {
 	case TierNVLink:
-		return c.Node.NVLinkGBs
+		return c.MinNVLinkGBs()
 	case TierNIC:
 		return c.PerGPUNICGBs()
 	default:
@@ -363,26 +683,67 @@ func (c Cluster) TierGBsPerGPU(t Tier) float64 {
 	}
 }
 
+// TierGBsPerGPUOf is the per-GPU bandwidth device `rank` itself sees on the
+// given tier: its own class's NVLink and NIC share. The link-level network
+// simulator drains each device at this rate, so a pair's flow is bounded by
+// the slower endpoint (DESIGN.md §12).
+func (c Cluster) TierGBsPerGPUOf(rank int, t Tier) float64 {
+	nc := c.classSpec(rank)
+	switch t {
+	case TierNVLink:
+		return nc.NVLinkGBs
+	case TierNIC:
+		return nc.PerGPUNICGBs()
+	default:
+		return nc.PerGPUNICGBs() / c.Topology.Oversub()
+	}
+}
+
 // TotalGPUs is the number of accelerators in the cluster.
-func (c Cluster) TotalGPUs() int { return c.Nodes * c.Node.GPUsPerNode }
+func (c Cluster) TotalGPUs() int {
+	if !c.Heterogeneous() {
+		return c.Nodes * c.Node.GPUsPerNode
+	}
+	g := 0
+	for _, nc := range c.Classes {
+		g += nc.Count * nc.GPUsPerNode
+	}
+	return g
+}
 
 // PerGPUNICGBs is the inter-node bandwidth available to one GPU in GB/s,
-// assuming the node's NICs are shared evenly across its GPUs.
+// assuming each node's NICs are shared evenly across its GPUs. On a mixed
+// fleet it is the weakest class's share — the effective rate of a
+// collective every class participates in.
 func (c Cluster) PerGPUNICGBs() float64 {
-	total := c.Node.NIC.BandwidthGbps * float64(c.Node.NIC.Count) / 8.0 // Gbit -> GB
-	return total / float64(c.Node.GPUsPerNode)
+	min := math.Inf(1)
+	for _, nc := range c.classList() {
+		if s := nc.PerGPUNICGBs(); s < min {
+			min = s
+		}
+	}
+	return min
 }
 
 // SameNode reports whether two global GPU ranks live on the same node.
 func (c Cluster) SameNode(a, b int) bool {
-	return a/c.Node.GPUsPerNode == b/c.Node.GPUsPerNode
+	return c.nodeOf(a) == c.nodeOf(b)
 }
 
 // MemBytes is the per-GPU memory capacity in bytes.
 func (c Cluster) MemBytes() float64 { return c.Node.GPU.MemGB * (1 << 30) }
 
 func (c Cluster) String() string {
-	s := fmt.Sprintf("%s[%d nodes x %d %s", c.Name, c.Nodes, c.Node.GPUsPerNode, c.Node.GPU.Name)
+	var s string
+	if c.Heterogeneous() {
+		parts := make([]string, len(c.Classes))
+		for i, nc := range c.Classes {
+			parts[i] = fmt.Sprintf("%dx%d %s", nc.Count, nc.GPUsPerNode, nc.Name)
+		}
+		s = fmt.Sprintf("%s[%s", c.Name, strings.Join(parts, " + "))
+	} else {
+		s = fmt.Sprintf("%s[%d nodes x %d %s", c.Name, c.Nodes, c.Node.GPUsPerNode, c.Node.GPU.Name)
+	}
 	if !c.FlatTopology() {
 		s += fmt.Sprintf(", %d racks, %g:1 spine", c.Racks(), c.Topology.Oversub())
 	}

@@ -1,0 +1,126 @@
+package moe
+
+import (
+	"reflect"
+	"testing"
+)
+
+// sendFixture builds a 3-device send tensor: send[src][dst] lists the items
+// src transmits to dst, with distinguishable tokens.
+func sendFixture() [][][]Item {
+	item := func(src, tok, expert int) Item {
+		return Item{SrcDev: src, TokenIdx: tok, Expert: expert, Weight: 1}
+	}
+	return [][][]Item{
+		{ // src 0
+			{},                             // -> 0
+			{item(0, 0, 1), item(0, 1, 1)}, // -> 1
+			{item(0, 2, 2)},                // -> 2
+		},
+		{ // src 1
+			{item(1, 0, 0)},                // -> 0
+			{},                             // -> 1
+			{item(1, 1, 2), item(1, 2, 2)}, // -> 2
+		},
+		{ // src 2
+			{},              // -> 0
+			{item(2, 0, 1)}, // -> 1
+			{},              // -> 2
+		},
+	}
+}
+
+func TestIrregularAllToAllCounts(t *testing.T) {
+	send := sendFixture()
+	_, counts := IrregularAllToAll(send)
+	want := [][]int{{0, 2, 1}, {1, 0, 2}, {0, 1, 0}}
+	if !reflect.DeepEqual(counts, want) {
+		t.Errorf("counts = %v, want %v", counts, want)
+	}
+}
+
+// Conservation: every item sent arrives exactly once, at the destination it
+// was addressed to, and nothing else materializes.
+func TestIrregularAllToAllContents(t *testing.T) {
+	send := sendFixture()
+	recv, counts := IrregularAllToAll(send)
+	g := len(send)
+	sent, received := 0, 0
+	for src := 0; src < g; src++ {
+		for dst := 0; dst < g; dst++ {
+			sent += len(send[src][dst])
+			received += counts[src][dst]
+		}
+	}
+	if sent != received {
+		t.Fatalf("counts move %d items, sent %d", received, sent)
+	}
+	total := 0
+	for dst := range recv {
+		total += len(recv[dst])
+	}
+	if total != sent {
+		t.Fatalf("received %d items, sent %d", total, sent)
+	}
+	// Per-destination contents match what every source addressed there.
+	for dst := range recv {
+		var want []Item
+		for src := 0; src < g; src++ {
+			want = append(want, send[src][dst]...)
+		}
+		if !reflect.DeepEqual(recv[dst], want) {
+			t.Errorf("dst %d received %v, want %v", dst, recv[dst], want)
+		}
+	}
+}
+
+// Ordering: a destination's items arrive grouped by source device in rank
+// order, preserving each source's send order — the layout the combine
+// phase's gather indexing assumes.
+func TestIrregularAllToAllOrdering(t *testing.T) {
+	send := sendFixture()
+	recv, _ := IrregularAllToAll(send)
+	for dst := range recv {
+		lastSrc := -1
+		for i, it := range recv[dst] {
+			if it.SrcDev < lastSrc {
+				t.Errorf("dst %d item %d: source %d after source %d", dst, i, it.SrcDev, lastSrc)
+			}
+			lastSrc = it.SrcDev
+		}
+	}
+	// dst 2 receives src 0's token 2 first, then src 1's tokens 1, 2.
+	want := []int{2, 1, 2}
+	got := make([]int, len(recv[2]))
+	for i, it := range recv[2] {
+		got[i] = it.TokenIdx
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("dst 2 token order %v, want %v", got, want)
+	}
+}
+
+// Degenerate shapes: a single device keeps its items; an all-empty exchange
+// yields empty, allocated rows (not nils that would panic downstream).
+func TestIrregularAllToAllDegenerate(t *testing.T) {
+	recv, counts := IrregularAllToAll([][][]Item{{{{SrcDev: 0, TokenIdx: 7}}}})
+	if len(recv) != 1 || len(recv[0]) != 1 || recv[0][0].TokenIdx != 7 {
+		t.Errorf("single-device exchange mangled: %v", recv)
+	}
+	if counts[0][0] != 1 {
+		t.Errorf("single-device counts = %v", counts)
+	}
+
+	empty := [][][]Item{{{}, {}}, {{}, {}}}
+	recv, counts = IrregularAllToAll(empty)
+	for dst := range recv {
+		if recv[dst] == nil || len(recv[dst]) != 0 {
+			t.Errorf("empty exchange dst %d: %v", dst, recv[dst])
+		}
+		for src := range counts {
+			if counts[src][dst] != 0 {
+				t.Errorf("empty exchange counts[%d][%d] = %d", src, dst, counts[src][dst])
+			}
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package netsim_test
+
+import (
+	"math"
+	"testing"
+
+	"lancet/internal/hw"
+	"lancet/internal/netsim"
+)
+
+// FuzzProfileFromCounts drives arbitrary token-count matrices through the
+// routing-profile pipeline and pins the invariant every downstream consumer
+// relies on: an accepted profile never emits NaN or negative bytes, no
+// matter how adversarial the histogram or the target payload — including
+// float64→int64 overflows, which must saturate instead of wrapping
+// negative.
+func FuzzProfileFromCounts(f *testing.F) {
+	f.Add(uint8(4), []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}, int64(1<<20))
+	f.Add(uint8(2), []byte{0, 255, 255, 0}, int64(1)<<62)
+	f.Add(uint8(1), []byte{7}, int64(-5))
+	f.Add(uint8(3), []byte{}, int64(4096))
+	f.Fuzz(func(t *testing.T, dims uint8, data []byte, meanBytes int64) {
+		d := int(dims%8) + 1
+		counts := make([][]int, d)
+		big := 0
+		for i := range counts {
+			counts[i] = make([]int, d)
+			for j := range counts[i] {
+				v := 0
+				if k := i*d + j; k < len(data) {
+					v = int(data[k])
+					if v == 255 {
+						// Exercise the overflow guards with huge counts.
+						v = math.MaxInt64 / (d * 2)
+						big++
+					}
+				}
+				counts[i][j] = v
+			}
+		}
+		p, err := netsim.ProfileFromCounts(counts)
+		if err != nil {
+			return // empty / overflowing histograms are rejected, not mangled
+		}
+		if p.Devices() != d {
+			t.Fatalf("profile shaped for %d devices, want %d", p.Devices(), d)
+		}
+		if share := p.MaxIngressShare(); math.IsNaN(share) || share < 0 || share > 1 {
+			t.Fatalf("MaxIngressShare = %v out of [0, 1]", share)
+		}
+		m := p.Matrix(meanBytes)
+		for src := range m {
+			if len(m[src]) != d {
+				t.Fatalf("matrix row %d has %d entries, want %d", src, len(m[src]), d)
+			}
+			for dst, b := range m[src] {
+				if b < 0 {
+					t.Fatalf("negative bytes %d at [%d][%d] (meanBytes %d)", b, src, dst, meanBytes)
+				}
+				if src == dst && b != 0 {
+					t.Fatalf("diagonal [%d][%d] carries %d bytes, want 0", src, dst, b)
+				}
+			}
+		}
+		// The matrix must also survive the link-level drain: finite,
+		// non-negative completion time.
+		if meanBytes > 0 && meanBytes <= 1<<40 {
+			us, err := newFuzzNet(d).AllToAllUs(m)
+			if err != nil {
+				t.Fatalf("netsim rejected a profile matrix: %v", err)
+			}
+			if math.IsNaN(us) || math.IsInf(us, 0) || us < 0 {
+				t.Fatalf("drain time = %v for meanBytes %d", us, meanBytes)
+			}
+		}
+	})
+}
+
+// newFuzzNet builds a single-node simulator sized for d devices (d <= 8).
+func newFuzzNet(d int) *netsim.Network {
+	c, err := hw.ClusterForGPUs("V100", d)
+	if err != nil {
+		panic(err)
+	}
+	return netsim.New(c)
+}

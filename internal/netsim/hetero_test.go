@@ -1,0 +1,93 @@
+// External test package, like netsim_test.go: pins the link-level
+// simulator's heterogeneous drain rates against the class-aware cluster
+// model.
+package netsim_test
+
+import (
+	"testing"
+
+	"lancet/internal/hw"
+	"lancet/internal/netsim"
+)
+
+// mixed is 2 A100 nodes (ranks 0..15) + 1 V100 node (ranks 16..23).
+func mixed(t *testing.T) hw.Cluster {
+	t.Helper()
+	a, err := hw.ClassForGPU("A100", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := hw.ClassForGPU("V100", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := hw.ClusterFromClasses([]hw.NodeClass{a, v})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// A flow into a slow-class device must drain slower than the same flow
+// between two fast-class devices: per-pair rates are bounded by the slower
+// endpoint.
+func TestHeteroPairDrainsAtSlowEndpoint(t *testing.T) {
+	c := mixed(t)
+	n := netsim.New(c)
+	g := c.TotalGPUs()
+	const payload = int64(64 << 20)
+
+	flow := func(src, dst int) float64 {
+		m := make([][]int64, g)
+		for i := range m {
+			m[i] = make([]int64, g)
+		}
+		m[src][dst] = payload
+		us, err := n.AllToAllUs(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return us
+	}
+
+	fastFast := flow(0, 8)  // A100 node -> A100 node
+	fastSlow := flow(0, 16) // A100 node -> V100 node
+	if fastSlow <= fastFast {
+		t.Errorf("A100->V100 %.1f us should exceed A100->A100 %.1f us", fastSlow, fastFast)
+	}
+	// The V100 NIC share is 4x thinner; the drain bound should be ~4x
+	// (startup latency aside).
+	if ratio := fastSlow / fastFast; ratio < 3 || ratio > 5 {
+		t.Errorf("slow-endpoint ratio %.2f, want ~4x", ratio)
+	}
+	// Direction symmetry: the slow endpoint bounds egress too.
+	if slowFast := flow(16, 0); slowFast <= fastFast {
+		t.Errorf("V100->A100 %.1f us should exceed A100->A100 %.1f us", slowFast, fastFast)
+	}
+}
+
+// A uniform all-to-all on a mixed fleet completes no faster than the same
+// exchange on an all-fast fleet of identical shape, and the closed-form
+// mixed model (min per-tier bandwidth) stays an upper bound of the
+// link-level drain — the consistency that keeps the DP's pricing and the
+// replay agreeing on uniform traffic.
+func TestHeteroUniformBoundedByFastFleet(t *testing.T) {
+	c := mixed(t)
+	fast := hw.A100Cluster(3)
+	const per = int64(32 << 20)
+
+	um, err := netsim.New(c).AllToAllTimed(netsim.UniformMatrix(c.TotalGPUs(), per))
+	if err != nil {
+		t.Fatal(err)
+	}
+	uf, err := netsim.New(fast).AllToAllTimed(netsim.UniformMatrix(fast.TotalGPUs(), per))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if um.TotalUs <= uf.TotalUs {
+		t.Errorf("mixed uniform a2a %.1f us should exceed all-A100 %.1f us", um.TotalUs, uf.TotalUs)
+	}
+	if um.Bottleneck != hw.TierNIC {
+		t.Errorf("mixed flat-fabric a2a should bottleneck on the NIC, got %v", um.Bottleneck)
+	}
+}

@@ -99,9 +99,12 @@ func (n *Network) AllToAllTimed(sizes [][]int64) (A2ATiming, error) {
 	}
 	var res A2ATiming
 	for tier := hw.Tier(0); tier < hw.NumTiers; tier++ {
-		bw := n.Cluster.TierGBsPerGPU(tier) * 1e9
 		bound := 0.0
 		for d := 0; d < g; d++ {
+			// Each device drains at its own class's rate (DESIGN.md §12):
+			// a flow between a fast and a slow node is counted at both
+			// endpoints, so the slower one bounds the pair.
+			bw := n.Cluster.TierGBsPerGPUOf(d, tier) * 1e9
 			bound = math.Max(bound, eg[tier][d]/effBW(bw, eg[tier][d]))
 			bound = math.Max(bound, in[tier][d]/effBW(bw, in[tier][d]))
 		}
@@ -171,7 +174,7 @@ func ScaleCounts(counts [][]int, perTokenBytes int64, factor float64) ([][]int64
 			if c < 0 {
 				return nil, fmt.Errorf("netsim: negative count at [%d][%d]", src, dst)
 			}
-			m[src][dst] = int64(math.Round(float64(c) * factor * float64(perTokenBytes)))
+			m[src][dst] = roundBytes(float64(c) * factor * float64(perTokenBytes))
 		}
 	}
 	return m, nil

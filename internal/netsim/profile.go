@@ -49,6 +49,11 @@ func ProfileFromCounts(counts [][]int) (*RoutingProfile, error) {
 			if v < 0 {
 				return nil, fmt.Errorf("netsim: negative profile count at [%d][%d]", src, dst)
 			}
+			if int64(v) > math.MaxInt64-total {
+				// An overflowed total would flip the Matrix scale negative;
+				// reject the pathological histogram instead.
+				return nil, fmt.Errorf("netsim: profile counts overflow at [%d][%d]", src, dst)
+			}
 			c[src][dst] = int64(v)
 			total += int64(v)
 		}
@@ -159,10 +164,25 @@ func (p *RoutingProfile) Matrix(meanBytesPerDevice int64) [][]int64 {
 			if src == dst {
 				continue
 			}
-			m[src][dst] = int64(math.Round(float64(c) * scale))
+			m[src][dst] = roundBytes(float64(c) * scale)
 		}
 	}
 	return m
+}
+
+// roundBytes rounds a float byte count to int64, saturating instead of
+// overflowing: a float64-to-int64 conversion beyond the int64 range is
+// implementation-defined and can come back negative, which would poison
+// every downstream drain computation. Negative and NaN inputs clamp to 0.
+func roundBytes(v float64) int64 {
+	r := math.Round(v)
+	if r >= math.MaxInt64 {
+		return math.MaxInt64
+	}
+	if math.IsNaN(r) || r <= 0 {
+		return 0
+	}
+	return int64(r)
 }
 
 // MaxIngressShare is the largest fraction of total traffic any single

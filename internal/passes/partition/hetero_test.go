@@ -1,0 +1,83 @@
+package partition
+
+import (
+	"testing"
+
+	"lancet/internal/cost"
+	"lancet/internal/hw"
+	"lancet/internal/model"
+)
+
+// buildHeteroFixture builds the GPT2-S graph on a mixed 2xA100 + 2xV100
+// fleet plus two cost models over it: the hetero-blind one pricing every
+// node as the fast base class, and the aware one pricing the real mix.
+func buildHeteroFixture(t *testing.T) (*model.Built, *cost.Model, *cost.Model) {
+	t.Helper()
+	a, err := hw.ClassForGPU("A100", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := hw.ClassForGPU("V100", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed, err := hw.ClusterFromClasses([]hw.NodeClass{a, v})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := model.GPT2SMoE()
+	cfg.BatchPerGPU = 16
+	b, err := model.Build(cfg, mixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, cost.NewModel(mixed.Uniform()), cost.NewModel(mixed)
+}
+
+// The DP must see the slow class: pricing the same program on the mixed
+// fleet must raise both the serial forward estimate and the chosen plan's
+// cost versus the fast-base-class assumption, and shift which ranges get
+// partitioned how.
+func TestHeteroShiftsChosenRanges(t *testing.T) {
+	b, blind, aware := buildHeteroFixture(t)
+	opts := Options{GroupUs: 1000, GatePartialBatch: true}
+
+	rb, err := Run(b.Graph, blind, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, err := Run(b.Graph, aware, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.SerialForwardUs <= rb.SerialForwardUs {
+		t.Errorf("mixed-fleet serial forward %v us must exceed fast-class %v us",
+			ra.SerialForwardUs, rb.SerialForwardUs)
+	}
+	if ra.ForwardUs <= rb.ForwardUs {
+		t.Errorf("mixed-fleet optimal forward %v us must exceed fast-class %v us",
+			ra.ForwardUs, rb.ForwardUs)
+	}
+	if len(rb.Ranges) == 0 || len(ra.Ranges) == 0 {
+		t.Fatalf("both planners must still partition: blind %d ranges, aware %d",
+			len(rb.Ranges), len(ra.Ranges))
+	}
+	if samePlan(rb, ra) {
+		t.Errorf("plans identical under fast-class and mixed-fleet pricing: %v — the DP is not seeing the classes",
+			planShape(rb))
+	}
+}
+
+// Partitioning must stay worthwhile on the mixed fleet: the chosen plan
+// still beats serial execution under the class-aware model.
+func TestHeteroPartitioningStillWins(t *testing.T) {
+	b, _, aware := buildHeteroFixture(t)
+	res, err := Run(b.Graph, aware, Options{GroupUs: 1000, GatePartialBatch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ForwardUs >= res.SerialForwardUs {
+		t.Errorf("optimal forward %v us not better than serial %v us on the mixed fleet",
+			res.ForwardUs, res.SerialForwardUs)
+	}
+}

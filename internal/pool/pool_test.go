@@ -2,8 +2,10 @@ package pool
 
 import (
 	"context"
+	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestForEachIndexedRunsAll(t *testing.T) {
@@ -52,5 +54,50 @@ func TestForEachIndexedCancelMidway(t *testing.T) {
 func TestForEachIndexedZeroItems(t *testing.T) {
 	if und := ForEachIndexed(context.Background(), 0, 4, func(int) { t.Error("no items to run") }); und != 0 {
 		t.Errorf("undispatched = %d, want 0", und)
+	}
+}
+
+// Cancelling mid-fan-out must tear the pool down completely: every worker
+// goroutine exits once the in-flight items finish, leaving the process at
+// its pre-pool goroutine count.
+func TestForEachIndexedCancelNoLeak(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	const n, workers = 64, 4
+	release := make(chan struct{})
+	started := make(chan struct{}, n)
+	done := make(chan int, 1)
+	go func() {
+		done <- ForEachIndexed(ctx, n, workers, func(int) {
+			started <- struct{}{}
+			<-release
+		})
+	}()
+
+	// Let the fan-out get properly underway: all workers are mid-item.
+	for i := 0; i < workers; i++ {
+		<-started
+	}
+	cancel()
+	close(release)
+	undispatched := <-done
+	if undispatched < workers || undispatched > n {
+		t.Errorf("undispatched = %d, want within [%d, %d]", undispatched, workers, n)
+	}
+
+	// The pool owns no goroutines after ForEachIndexed returns; give the
+	// runtime a moment to reap the exited workers, then require the count
+	// to settle back to the baseline.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines did not settle: %d now, %d before the fan-out",
+				runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }

@@ -1,0 +1,54 @@
+package service
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzPlanRequest drives arbitrary JSON bodies through the request
+// decode/canonicalize path and pins two properties: canonicalization never
+// panics, and the canonical cache keys are stable under the echo round-trip
+// (echo a canonical request, re-canonicalize it, land on the same session
+// and plan keys) — the invariant that makes every echoed response
+// resubmittable onto its own cache entry.
+func FuzzPlanRequest(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"framework": "raf", "baseline": "none"}`))
+	f.Add([]byte(`{"model": "gpt2-l", "cluster": "A100", "gpus": 32, "gate": "top2", "seed": 0}`))
+	f.Add([]byte(`{"skew": 1.5, "options": {"max_partitions": 4, "prioritize_all_to_all": true}}`))
+	f.Add([]byte(`{"routing": {"kind": "hot", "hot_share": 0.5}, "topology": {"oversub": 4}}`))
+	f.Add([]byte(`{"classes": [{"gpu": "A100", "nodes": 1}, {"gpu": "V100", "nodes": 3}], "zero3": true}`))
+	f.Add([]byte(`{"classes": [{"gpu": "v100", "nodes": 2}], "batch": 7, "shared_expert": true}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req PlanRequest
+		if err := json.Unmarshal(data, &req); err != nil {
+			t.Skip()
+		}
+		c, err := req.canonicalize()
+		if err != nil {
+			// Rejections are fine; panics are not (the harness catches
+			// them for us).
+			return
+		}
+		echo := c.echo()
+		blob, err := json.Marshal(echo)
+		if err != nil {
+			t.Fatalf("echo of %s does not marshal: %v", data, err)
+		}
+		var again PlanRequest
+		if err := json.Unmarshal(blob, &again); err != nil {
+			t.Fatalf("echo of %s does not round-trip: %v", data, err)
+		}
+		c2, err := again.canonicalize()
+		if err != nil {
+			t.Fatalf("echoed request %s not resubmittable: %v", blob, err)
+		}
+		if c.sessionKey() != c2.sessionKey() {
+			t.Fatalf("session key unstable under echo round-trip:\n  %q\n  %q", c.sessionKey(), c2.sessionKey())
+		}
+		if c.planKey(c.framework) != c2.planKey(c2.framework) {
+			t.Fatalf("plan key unstable under echo round-trip:\n  %q\n  %q",
+				c.planKey(c.framework), c2.planKey(c2.framework))
+		}
+	})
+}

@@ -24,19 +24,24 @@ type PlanOptions struct {
 	// simulation replays the real hierarchy — the topology-blind ablation
 	// of DESIGN.md §11.
 	AssumeFlatTopology bool `json:"assume_flat_topology,omitempty"`
+	// AssumeUniformHardware plans as if every node matched the fleet's base
+	// class while simulation replays the real mix — the hetero-blind
+	// ablation of DESIGN.md §12.
+	AssumeUniformHardware bool `json:"assume_uniform_hardware,omitempty"`
 }
 
 func (o PlanOptions) toLancet() lancet.Options {
 	return lancet.Options{
-		MaxPartitions:        o.MaxPartitions,
-		GroupUs:              o.GroupUs,
-		MaxRangeGroups:       o.MaxRangeGroups,
-		DisableDWSchedule:    o.DisableDWSchedule,
-		DisablePartition:     o.DisablePartition,
-		DWFirstFit:           o.DWFirstFit,
-		PrioritizeAllToAll:   o.PrioritizeAllToAll,
-		AssumeUniformRouting: o.AssumeUniformRouting,
-		AssumeFlatTopology:   o.AssumeFlatTopology,
+		MaxPartitions:         o.MaxPartitions,
+		GroupUs:               o.GroupUs,
+		MaxRangeGroups:        o.MaxRangeGroups,
+		DisableDWSchedule:     o.DisableDWSchedule,
+		DisablePartition:      o.DisablePartition,
+		DWFirstFit:            o.DWFirstFit,
+		PrioritizeAllToAll:    o.PrioritizeAllToAll,
+		AssumeUniformRouting:  o.AssumeUniformRouting,
+		AssumeFlatTopology:    o.AssumeFlatTopology,
+		AssumeUniformHardware: o.AssumeUniformHardware,
 	}
 }
 
@@ -64,6 +69,50 @@ func (t TopologySpec) key() string {
 		return "flat"
 	}
 	return fmt.Sprintf("r%dxo%g", t.NodesPerRack, t.Oversub)
+}
+
+// ClassSpec is one slice of a mixed-generation fleet for /v1/plan and
+// /v1/sweep (DESIGN.md §12): `nodes` nodes of a known GPU type. A classes
+// list replaces the cluster/gpus pair; adjacent same-type entries merge,
+// and a list that collapses to a single class is the uniform cluster — it
+// canonicalizes to the plain cluster/gpus spelling, so every uniform
+// spelling shares the pre-heterogeneity cache keys.
+type ClassSpec struct {
+	GPU   string `json:"gpu"`
+	Nodes int    `json:"nodes"`
+}
+
+// normalizeClasses validates a classes list against the cluster/gpus pair
+// and resolves it to lancet node classes. An empty list means uniform.
+func normalizeClasses(specs []ClassSpec, clusterType string, gpus int) ([]lancet.NodeClass, error) {
+	if len(specs) == 0 {
+		return nil, nil
+	}
+	if clusterType != "" || gpus != 0 {
+		return nil, fmt.Errorf("specify either cluster/gpus or classes, not both")
+	}
+	classes := make([]lancet.NodeClass, 0, len(specs))
+	for i, cs := range specs {
+		if cs.Nodes <= 0 {
+			return nil, fmt.Errorf("classes[%d] needs nodes > 0, got %d", i, cs.Nodes)
+		}
+		nc, err := lancet.ClassForGPU(strings.TrimSpace(cs.GPU), cs.Nodes)
+		if err != nil {
+			return nil, fmt.Errorf("classes[%d]: %w", i, err)
+		}
+		classes = append(classes, nc)
+	}
+	return classes, nil
+}
+
+// classesKey is the canonical cache-key fragment of a hetero fleet,
+// e.g. "1xA100+1xV100".
+func classesKey(classes []ClassSpec) string {
+	parts := make([]string, len(classes))
+	for i, cs := range classes {
+		parts[i] = fmt.Sprintf("%dx%s", cs.Nodes, cs.GPU)
+	}
+	return strings.Join(parts, "+")
 }
 
 // RoutingSpec selects the workload's routing shape for /v1/plan and
@@ -146,8 +195,12 @@ type PlanRequest struct {
 	Model   string `json:"model,omitempty"`
 	Cluster string `json:"cluster,omitempty"`
 	GPUs    int    `json:"gpus,omitempty"`
-	Batch   int    `json:"batch,omitempty"`
-	Gate    string `json:"gate,omitempty"`
+	// Classes declares a mixed-generation fleet (DESIGN.md §12) in place of
+	// the Cluster/GPUs pair; setting both is a client error. Uniform
+	// spellings collapse to Cluster/GPUs.
+	Classes []ClassSpec `json:"classes,omitempty"`
+	Batch   int         `json:"batch,omitempty"`
+	Gate    string      `json:"gate,omitempty"`
 	// Framework is the plan to serve; Baseline is what it is compared
 	// against ("none" disables the comparison).
 	Framework string `json:"framework,omitempty"`
@@ -179,6 +232,8 @@ type canonical struct {
 	cfg         lancet.ModelConfig
 	clusterType string
 	gpus        int
+	classes     []ClassSpec        // canonical merged fleet mix; empty = uniform
+	nodeClasses []lancet.NodeClass // classes resolved to hw specs, as NewHeteroCluster canonicalized them
 	framework   string
 	baseline    string // "" = comparison disabled
 	seed        int64
@@ -227,18 +282,40 @@ func (r PlanRequest) canonicalize() (*canonical, error) {
 	cfg.ZeRO3 = r.ZeRO3
 
 	c.clusterType = strings.ToUpper(strings.TrimSpace(r.Cluster))
-	if c.clusterType == "" {
-		c.clusterType = "V100"
-	}
-	c.gpus = r.GPUs
-	if c.gpus == 0 {
-		c.gpus = 16
+	classes, err := normalizeClasses(r.Classes, c.clusterType, r.GPUs)
+	if err != nil {
+		return nil, err
 	}
 	// Build the cluster once to reject unknown GPU types, invalid counts
 	// and bad topologies up front; NewSession rebuilds it cheaply.
-	cl, err := lancet.NewCluster(c.clusterType, c.gpus)
-	if err != nil {
-		return nil, err
+	var cl lancet.Cluster
+	if len(classes) > 0 {
+		if cl, err = lancet.NewHeteroCluster(classes...); err != nil {
+			return nil, err
+		}
+		// NewHeteroCluster merges same-spec neighbors and collapses a
+		// single class to the uniform cluster; canonicalize from what it
+		// resolved, so "2xV100+2xV100" shares the plain cluster/gpus
+		// spelling's cache entries.
+		c.clusterType = strings.ToUpper(strings.TrimSpace(classes[0].Name))
+		c.gpus = cl.TotalGPUs()
+		if cl.Heterogeneous() {
+			c.nodeClasses = cl.Classes
+			for _, nc := range cl.Classes {
+				c.classes = append(c.classes, ClassSpec{GPU: nc.Name, Nodes: nc.Count})
+			}
+		}
+	} else {
+		if c.clusterType == "" {
+			c.clusterType = "V100"
+		}
+		c.gpus = r.GPUs
+		if c.gpus == 0 {
+			c.gpus = 16
+		}
+		if cl, err = lancet.NewCluster(c.clusterType, c.gpus); err != nil {
+			return nil, err
+		}
 	}
 	if r.Topology != nil {
 		topo := r.Topology.toTopology()
@@ -303,10 +380,17 @@ func (c *canonical) echo() PlanRequest {
 		t := c.topo
 		topo = &t
 	}
+	cluster, gpus := c.clusterType, c.gpus
+	if len(c.classes) > 0 {
+		// A hetero fleet is spelled by its classes alone; cluster/gpus
+		// would trip the exclusivity check on resubmission.
+		cluster, gpus = "", 0
+	}
 	return PlanRequest{
 		Model:        c.cfg.Name,
-		Cluster:      c.clusterType,
-		GPUs:         c.gpus,
+		Cluster:      cluster,
+		GPUs:         gpus,
+		Classes:      c.classes,
 		Batch:        c.cfg.BatchPerGPU,
 		Gate:         c.cfg.Gate.String(),
 		Framework:    c.framework,
@@ -325,11 +409,17 @@ func (c *canonical) echo() PlanRequest {
 // only shapes the plan (framework, seed, options). The canonical routing
 // and topology fragments keep skewed/uniform and hierarchical/flat
 // workloads in separate sessions (and, transitively, separate plan-store
-// entries).
+// entries); a mixed fleet appends its canonical class mix, while every
+// uniform spelling keeps the pre-heterogeneity key form so cached entries
+// stay valid.
 func (c *canonical) sessionKey() string {
-	return fmt.Sprintf("%s|%s|%d|b%d|%s|shared%t|zero3%t|rt=%s|topo=%s",
+	key := fmt.Sprintf("%s|%s|%d|b%d|%s|shared%t|zero3%t|rt=%s|topo=%s",
 		c.cfg.Name, c.clusterType, c.gpus, c.cfg.BatchPerGPU, c.cfg.Gate,
 		c.cfg.SharedExpert, c.cfg.ZeRO3, c.routing.key(), c.topo.key())
+	if len(c.classes) > 0 {
+		key += "|hw=" + classesKey(c.classes)
+	}
+	return key
 }
 
 // planKey identifies one framework's plan-and-simulate outcome in the plan

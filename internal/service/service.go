@@ -98,7 +98,15 @@ func (s *Service) session(c *canonical) (*lancet.Session, error) {
 		if sess, ok := s.sessions.peek(key); ok {
 			return sess, nil
 		}
-		cluster, err := lancet.NewCluster(c.clusterType, c.gpus)
+		var cluster lancet.Cluster
+		var err error
+		if len(c.nodeClasses) > 0 {
+			// canonicalize already resolved and validated the class list;
+			// rebuild the cluster from exactly what the cache key describes.
+			cluster, err = lancet.NewHeteroCluster(c.nodeClasses...)
+		} else {
+			cluster, err = lancet.NewCluster(c.clusterType, c.gpus)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -276,6 +284,11 @@ type SweepRequest struct {
 	Gates      []string `json:"gates,omitempty"`
 	Frameworks []string `json:"frameworks,omitempty"`
 
+	// Classes declares one mixed-generation fleet for every grid point
+	// (DESIGN.md §12); it replaces the Clusters/GPUs dimensions, so setting
+	// it alongside either is a client error surfaced per point.
+	Classes []ClassSpec `json:"classes,omitempty"`
+
 	Batch        int           `json:"batch,omitempty"`
 	Seed         *int64        `json:"seed,omitempty"`
 	Skew         float64       `json:"skew,omitempty"`
@@ -325,6 +338,17 @@ func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if len(gpuCounts) == 0 {
 		gpuCounts = []int{16}
 	}
+	if len(req.Classes) > 0 {
+		// A class list pins the fleet: collapse the cluster dimensions to
+		// one empty point so canonicalize sees the classes spelling alone
+		// (explicit Clusters/GPUs surface the exclusivity error per point).
+		if len(req.Clusters) == 0 {
+			clusters = []string{""}
+		}
+		if len(req.GPUs) == 0 {
+			gpuCounts = []int{0}
+		}
+	}
 
 	// Reject oversized grids before materializing a single point.
 	points := int64(len(models)) * int64(len(clusters)) * int64(len(gpuCounts)) *
@@ -344,6 +368,7 @@ func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
 					for _, fw := range frameworks {
 						grid = append(grid, PlanRequest{
 							Model: m, Cluster: cl, GPUs: g, Gate: gate,
+							Classes:   req.Classes,
 							Framework: fw, Baseline: BaselineNone,
 							Batch: req.Batch, Seed: req.Seed, Skew: req.Skew,
 							Routing: req.Routing, Topology: req.Topology,

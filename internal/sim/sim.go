@@ -64,6 +64,11 @@ type Breakdown struct {
 	// lands on NVLink or NIC; an oversubscribed spine pulls time into the
 	// spine bucket. Indexed by hw.Tier.
 	A2ATierUs [hw.NumTiers]float64
+	// StragglerClassUs attributes, per node class, the compute time the
+	// iteration spent waiting on that class beyond what the fleet's fastest
+	// class would have taken (DESIGN.md §12). Nil on uniform clusters; on a
+	// mixed fleet the slowest class carries the whole penalty.
+	StragglerClassUs map[string]float64
 }
 
 // Timeline is the result of a simulated iteration.
@@ -119,6 +124,8 @@ func (e *Executor) Run(g *ir.Graph, order []int) (*Timeline, error) {
 
 	irregularUs := 0.0
 	var tierUs [hw.NumTiers]float64
+	var stragglerUs map[string]float64
+	hetero := e.Cost.Cluster.Heterogeneous()
 	for _, id := range order {
 		in := g.Instr(id)
 		stream := StreamCompute
@@ -147,6 +154,17 @@ func (e *Executor) Run(g *ir.Graph, order []int) (*Timeline, error) {
 			// padded pattern, so the two share a bottleneck tier.
 			tierUs[e.Cost.A2ABottleneck(in.Bytes, in.CommDevices)] += dur
 		}
+		if hetero && !in.IsComm() {
+			// Attribute the mixed fleet's compute penalty to the lagging
+			// class, scaled by the run's systematic factor like the span
+			// itself (per-op jitter averages out of the aggregate).
+			if class, extra := e.Cost.ComputeStragglerUs(in); extra > 0 {
+				if stragglerUs == nil {
+					stragglerUs = make(map[string]float64)
+				}
+				stragglerUs[class] += extra * sysScale
+			}
+		}
 		if span.EndUs > tl.TotalUs {
 			tl.TotalUs = span.EndUs
 		}
@@ -154,6 +172,7 @@ func (e *Executor) Run(g *ir.Graph, order []int) (*Timeline, error) {
 	tl.Breakdown = computeBreakdown(g, tl.Spans)
 	tl.IrregularA2AUs = irregularUs
 	tl.A2ATierUs = tierUs
+	tl.StragglerClassUs = stragglerUs
 	return tl, nil
 }
 

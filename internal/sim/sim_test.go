@@ -291,3 +291,55 @@ func TestA2ATierBreakdown(t *testing.T) {
 		}
 	}
 }
+
+// heteroFixture prices the fixture graph on a mixed A100+V100 fleet.
+func heteroFixture(t *testing.T) (*ir.Graph, *cost.Model) {
+	t.Helper()
+	g, _ := fixture()
+	a, err := hw.ClassForGPU("A100", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := hw.ClassForGPU("V100", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := hw.ClusterFromClasses([]hw.NodeClass{a, v})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, cost.NewModel(c)
+}
+
+// On a mixed fleet the timeline attributes the compute time spent waiting
+// on the slow class to that class (DESIGN.md §12); uniform fleets report
+// none.
+func TestStragglerClassBreakdown(t *testing.T) {
+	g, m := heteroFixture(t)
+	ex := &Executor{Cost: m}
+	tl, err := ex.Run(g, g.DefaultSchedule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lag := tl.StragglerClassUs["V100"]
+	if lag <= 0 {
+		t.Fatalf("StragglerClassUs = %v, want positive V100 lag", tl.StragglerClassUs)
+	}
+	if len(tl.StragglerClassUs) != 1 {
+		t.Errorf("only the slowest class carries the penalty, got %v", tl.StragglerClassUs)
+	}
+	// The penalty is bounded by the compute busy time it decomposes.
+	if lag >= tl.ComputeBusyUs {
+		t.Errorf("straggler lag %.1f us exceeds compute busy %.1f us", lag, tl.ComputeBusyUs)
+	}
+
+	// The same graph on the uniform fixture cluster reports no straggler.
+	gu, mu := fixture()
+	tlu, err := (&Executor{Cost: mu}).Run(gu, gu.DefaultSchedule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tlu.StragglerClassUs != nil {
+		t.Errorf("uniform cluster should report no straggler, got %v", tlu.StragglerClassUs)
+	}
+}

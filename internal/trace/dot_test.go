@@ -1,0 +1,61 @@
+package trace
+
+import (
+	"testing"
+
+	"lancet/internal/ir"
+)
+
+// dotFixture builds a graph exercising every DOT style branch: a plain
+// compute op, a communication op (green), a weight-gradient op (orange), a
+// partition-plumbing op (gray), a partitioned micro-instance label and a
+// nameless op that falls back to its OpKind.
+func dotFixture() *ir.Graph {
+	g := ir.NewGraph()
+	x := g.NewTensor("x", ir.Shape{4}, ir.F16, ir.Activation)
+	y := g.NewTensor("y", ir.Shape{4}, ir.F16, ir.Activation)
+	z := g.NewTensor("z", ir.Shape{4}, ir.F16, ir.Activation)
+	w := g.NewTensor("w", ir.Shape{4}, ir.F16, ir.Gradient)
+	s := g.NewTensor("s", ir.Shape{4}, ir.F16, ir.Activation)
+	g.Emit(&ir.Instr{Name: "mm", Op: ir.OpMatMul, FLOPs: 1e6, Ins: []int{x.ID}, Outs: []int{y.ID}})
+	g.Emit(&ir.Instr{Name: "split", Op: ir.OpPartitionSplit, Ins: []int{y.ID}, Outs: []int{s.ID}})
+	g.Emit(&ir.Instr{Name: "a2a", Op: ir.OpAllToAll, Bytes: 1 << 10, CommDevices: 4,
+		Ins: []int{s.ID}, Outs: []int{z.ID}, PartIdx: 1, NumParts: 2})
+	g.Emit(&ir.Instr{Op: ir.OpMatMul, Grad: ir.GradDW, Phase: ir.Backward,
+		Ins: []int{z.ID}, Outs: []int{w.ID}, FLOPs: 1e6})
+	return g
+}
+
+// dotGolden is the exact expected rendering of dotFixture. The DOT export
+// is consumed by external tooling (`dot -Tsvg`), so its shape is part of
+// the contract: a drift in labels, colors or edges must be a conscious
+// change of this golden, not an accident.
+const dotGolden = `digraph lancet {
+  rankdir=LR;
+  node [shape=box, fontsize=10];
+  n0 [label="mm"];
+  n1 [label="split", style=filled, fillcolor=lightgray];
+  n2 [label="a2a [2/2]", style=filled, fillcolor=palegreen];
+  n3 [label="matmul.dW", style=filled, fillcolor=orange];
+  n0 -> n1;
+  n1 -> n2;
+  n2 -> n3;
+}
+`
+
+func TestExportDOTGolden(t *testing.T) {
+	got := string(ExportDOT(dotFixture()))
+	if got != dotGolden {
+		t.Errorf("DOT output drifted from golden.\ngot:\n%s\nwant:\n%s", got, dotGolden)
+	}
+}
+
+// The export must be deterministic: two renderings of one graph are
+// byte-identical (the property CI's docs tooling relies on).
+func TestExportDOTDeterministic(t *testing.T) {
+	g := dotFixture()
+	a, b := string(ExportDOT(g)), string(ExportDOT(g))
+	if a != b {
+		t.Error("ExportDOT is not deterministic")
+	}
+}

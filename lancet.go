@@ -24,6 +24,7 @@ package lancet
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -55,6 +56,10 @@ type (
 	// (DESIGN.md §11). Attach one with Cluster.WithTopology; the zero value
 	// is the flat fabric.
 	Topology = hw.Topology
+	// NodeClass is one homogeneous slice of a mixed-generation fleet
+	// (DESIGN.md §12). Attach classes with Cluster.WithClasses or build a
+	// mixed cluster from ParseClasses + NewHeteroCluster.
+	NodeClass = hw.NodeClass
 	// GateKind selects the MoE routing algorithm.
 	GateKind = model.GateKind
 )
@@ -169,6 +174,43 @@ func NewCluster(gpuType string, gpus int) (Cluster, error) {
 	return hw.ClusterForGPUs(gpuType, gpus)
 }
 
+// ClassForGPU builds the NodeClass of `nodes` nodes of a known GPU type.
+func ClassForGPU(gpuType string, nodes int) (NodeClass, error) {
+	return hw.ClassForGPU(gpuType, nodes)
+}
+
+// NewHeteroCluster assembles a (possibly mixed-generation) cluster from an
+// ordered class list (DESIGN.md §12). The first class is what a
+// hetero-blind planner assumes fleet-wide; a list that collapses to a
+// single class builds the plain uniform cluster.
+func NewHeteroCluster(classes ...NodeClass) (Cluster, error) {
+	return hw.ClusterFromClasses(classes)
+}
+
+// ParseClasses parses the CLI/serving-layer fleet syntax "4xA100+4xV100"
+// (also comma-separated): each term is COUNTxTYPE with COUNT in nodes.
+func ParseClasses(spec string) ([]NodeClass, error) {
+	fields := strings.FieldsFunc(spec, func(r rune) bool { return r == '+' || r == ',' })
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("lancet: empty class spec %q (want e.g. 4xA100+4xV100)", spec)
+	}
+	classes := make([]NodeClass, 0, len(fields))
+	for _, f := range fields {
+		f = strings.TrimSpace(f)
+		count, gpuType, ok := strings.Cut(f, "x")
+		n, err := strconv.Atoi(strings.TrimSpace(count))
+		if !ok || err != nil || n <= 0 {
+			return nil, fmt.Errorf("lancet: bad class term %q in %q (want COUNTxTYPE, e.g. 4xA100)", f, spec)
+		}
+		nc, err := hw.ClassForGPU(strings.TrimSpace(gpuType), n)
+		if err != nil {
+			return nil, err
+		}
+		classes = append(classes, nc)
+	}
+	return classes, nil
+}
+
 // MustCluster is NewCluster, panicking on error.
 func MustCluster(gpuType string, gpus int) Cluster {
 	c, err := NewCluster(gpuType, gpus)
@@ -214,6 +256,14 @@ type Options struct {
 	// plan against the default quantifies what knowing the fabric shape
 	// buys, exactly as AssumeUniformRouting does for traffic shape.
 	AssumeFlatTopology bool
+	// AssumeUniformHardware makes every optimization pass price the fleet
+	// as if all nodes matched the cluster's base node spec — no slow
+	// classes — while simulation still replays the real mixed-generation
+	// fleet (DESIGN.md §12). The hetero-blind planner ablation, mirroring
+	// AssumeFlatTopology: a plan priced for the fast nodes stalls on the
+	// slow ones, and comparing it against the default quantifies what
+	// knowing the fleet mix buys.
+	AssumeUniformHardware bool
 }
 
 // Session holds a model instance built for a cluster, ready to be planned
@@ -245,9 +295,9 @@ type Session struct {
 
 	costRAF *cost.Model
 
-	mu       sync.Mutex              // guards profiles and costFlat; plans of one session may run concurrently
-	profiles map[int]*routingProfile // cache: micro-batch count -> profile
-	costFlat *cost.Model             // lazy: prices the cluster as if its topology were flat
+	mu        sync.Mutex              // guards profiles and costBlind; plans of one session may run concurrently
+	profiles  map[int]*routingProfile // cache: micro-batch count -> profile
+	costBlind map[string]*cost.Model  // lazy: planner-blindness ablation models (flat topology, uniform hardware)
 }
 
 // routingProfile is what one functional gate run over a proxy batch tells
@@ -270,10 +320,13 @@ type routingProfile struct {
 }
 
 // NewSession builds the training graph for cfg on the cluster. A
-// non-positive BatchPerGPU selects the paper's batch size for the GPU type.
+// non-positive BatchPerGPU selects the paper's batch size for the GPU type
+// (a mixed fleet's base class — the name before the first "+" — so the CLI
+// and the serving layer resolve the same default).
 func NewSession(cfg ModelConfig, cluster Cluster) (*Session, error) {
 	if cfg.BatchPerGPU <= 0 {
-		cfg.BatchPerGPU = cfg.PaperBatchSize(cluster.Name)
+		base, _, _ := strings.Cut(cluster.Name, "+")
+		cfg.BatchPerGPU = cfg.PaperBatchSize(base)
 	}
 	b, err := model.Build(cfg, cluster)
 	if err != nil {
@@ -368,19 +421,38 @@ func (s *Session) routingContext() (*netsim.RoutingProfile, float64, error) {
 	return p.net, frac, nil
 }
 
-// flatCost returns the cost model the topology-blind planner prices with:
-// the session's cluster stripped to a flat fabric. Built lazily once; on an
-// already-flat cluster it is the shared model.
-func (s *Session) flatCost() *cost.Model {
-	if s.Cluster.FlatTopology() {
+// blindCost returns the cost model a partially blind planner prices with:
+// the session's cluster stripped of its topology (flat fabric), its class
+// mix (uniform hardware), or both. Models are built lazily once per
+// blindness combination; when a requested blindness changes nothing about
+// the cluster, the shared model is returned.
+func (s *Session) blindCost(flat, uniform bool) *cost.Model {
+	flat = flat && !s.Cluster.FlatTopology()
+	uniform = uniform && s.Cluster.Heterogeneous()
+	if !flat && !uniform {
 		return s.costRAF
+	}
+	cl := s.Cluster
+	key := ""
+	if flat {
+		cl = cl.Flat()
+		key = "flat"
+	}
+	if uniform {
+		cl = cl.Uniform()
+		key += "+uniform"
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.costFlat == nil {
-		s.costFlat = cost.NewModel(s.Cluster.Flat())
+	if s.costBlind == nil {
+		s.costBlind = make(map[string]*cost.Model)
 	}
-	return s.costFlat
+	if m, ok := s.costBlind[key]; ok {
+		return m
+	}
+	m := cost.NewModel(cl)
+	s.costBlind[key] = m
+	return m
 }
 
 // Lancet runs both optimization passes and returns the optimized plan.
@@ -395,12 +467,9 @@ func (s *Session) Lancet(opts Options) (*Plan, error) {
 	}
 
 	// The passes price against planCost; simulation (plan.costs) always
-	// charges the cluster's real topology. The two differ only under the
-	// AssumeFlatTopology ablation.
-	planCost := s.costRAF
-	if opts.AssumeFlatTopology {
-		planCost = s.flatCost()
-	}
+	// charges the cluster's real topology and fleet mix. The two differ
+	// only under the AssumeFlatTopology / AssumeUniformHardware ablations.
+	planCost := s.blindCost(opts.AssumeFlatTopology, opts.AssumeUniformHardware)
 
 	if opts.PrioritizeAllToAll {
 		res, err := commprio.Run(g)
@@ -610,6 +679,12 @@ type Report struct {
 	A2ABoundNVLinkMs float64
 	A2ABoundNICMs    float64
 	A2ABoundSpineMs  float64
+	// StragglerClassMs attributes, per node class, the compute time the
+	// iteration spent waiting on that class beyond what the fleet's
+	// fastest class would have taken (DESIGN.md §12) — the
+	// heterogeneity penalty a uniform-planned replay pays. Nil on uniform
+	// clusters.
+	StragglerClassMs map[string]float64
 	// OOM propagates the plan's memory verdict.
 	OOM bool
 }
@@ -632,6 +707,13 @@ func (p *Plan) Simulate(seed int64) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	var straggler map[string]float64
+	if len(tl.StragglerClassUs) > 0 {
+		straggler = make(map[string]float64, len(tl.StragglerClassUs))
+		for class, us := range tl.StragglerClassUs {
+			straggler[class] = us / 1000
+		}
+	}
 	return &Report{
 		IterationMs:            tl.TotalUs / 1000,
 		NonOverlappedCommMs:    tl.NonOverlappedCommUs / 1000,
@@ -646,6 +728,7 @@ func (p *Plan) Simulate(seed int64) (*Report, error) {
 		A2ABoundNVLinkMs:       tl.A2ATierUs[hw.TierNVLink] / 1000,
 		A2ABoundNICMs:          tl.A2ATierUs[hw.TierNIC] / 1000,
 		A2ABoundSpineMs:        tl.A2ATierUs[hw.TierSpine] / 1000,
+		StragglerClassMs:       straggler,
 		OOM:                    p.OOM,
 	}, nil
 }

@@ -46,6 +46,12 @@ func (p *Plan) SimulateN(n int, base int64) (*ReportStats, error) {
 		st.MeanReport.CommMs += r.CommMs / float64(n)
 		st.MeanReport.ComputeMs += r.ComputeMs / float64(n)
 		st.MeanReport.IrregularA2AMs += r.IrregularA2AMs / float64(n)
+		for class, ms := range r.StragglerClassMs {
+			if st.MeanReport.StragglerClassMs == nil {
+				st.MeanReport.StragglerClassMs = make(map[string]float64)
+			}
+			st.MeanReport.StragglerClassMs[class] += ms / float64(n)
+		}
 		st.MeanReport.OOM = r.OOM
 	}
 	st.MeanMs = sum / float64(n)
