@@ -77,6 +77,27 @@ func BenchmarkLancetOptimize(b *testing.B) {
 	}
 }
 
+// BenchmarkPlanCold measures a full cold plan — session construction,
+// skewed routing profile, both optimization passes, and the final simulated
+// timeline — with nothing warmed between iterations except the
+// process-wide state a pooled server also shares: the scratch arenas and
+// the routing-proxy memo. This is the cost of one /v1/plan request on a
+// fresh session, the end-to-end quantity the arena refactor targets
+// (DESIGN.md §13); perf_floor.txt ratchets it.
+func BenchmarkPlanCold(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sess, err := lancet.NewSession(lancet.GPT2SMoE(0), lancet.MustCluster("V100", 16))
+		if err != nil {
+			b.Fatal(err)
+		}
+		sess.WorkloadSkew = 1.2
+		if _, err := sess.Lancet(lancet.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSimulateIteration measures one simulated training iteration of
 // the optimized plan.
 func BenchmarkSimulateIteration(b *testing.B) {

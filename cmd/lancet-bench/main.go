@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"lancet/internal/experiments"
+	"lancet/internal/prof"
 )
 
 func main() {
@@ -49,6 +50,7 @@ func main() {
 	)
 	flag.Float64Var(tol, "tol", 0.15, "shorthand for -tolerance")
 	flag.Parse()
+	defer prof.Start()()
 
 	if *compare != "" || *with != "" {
 		if *compare == "" || *with == "" {
@@ -131,6 +133,9 @@ func runCompare(basePath, candPath string, tol float64) {
 	}
 	if cmp.Cells == 0 {
 		log.Fatal("compared 0 latency cells — baseline and candidate share no tables; the gate would be vacuous")
+	}
+	if cmp.Worst != "" {
+		fmt.Printf("worst drift: %s\n", cmp.Worst)
 	}
 	if n := len(cmp.Regressions); n > 0 {
 		log.Fatalf("%d of %d headline latencies regressed beyond %.0f%% (baseline %s)",

@@ -19,6 +19,7 @@ import (
 
 	"lancet"
 	"lancet/internal/pool"
+	"lancet/internal/prof"
 	"lancet/internal/service"
 )
 
@@ -45,6 +46,7 @@ func main() {
 		jsonOut   = flag.Bool("json", false, "emit the comparison as JSON instead of a table")
 	)
 	flag.Parse()
+	defer prof.Start()()
 
 	cfg, err := lancet.ParseModel(*modelName, *batch)
 	if err != nil {

@@ -24,6 +24,7 @@ package cost
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sync"
 	"sync/atomic"
 
@@ -74,6 +75,21 @@ type Model struct {
 	profiles [cacheShards]shard[profileKey]
 	comms    [cacheShards]shard[commKey]
 	skewed   [cacheShards]shard[skewKey]
+
+	// net is the persistent link-level simulator for the cluster: its
+	// pair-tier index and drain arenas are built once and shared by every
+	// skewed replay instead of being rebuilt per call (DESIGN.md §13).
+	net *netsim.Network
+
+	// skewTabs holds the per-routing-profile interpolation tables that
+	// replace repeated netsim replays in AllToAllSkewedUs, keyed by profile
+	// fingerprint and built lazily (see skewtable.go).
+	skewTabMu sync.Mutex
+	skewTabs  map[uint64]*skewTableEntry
+
+	// uniReplay memoizes link-level replays of uniform matrices (the
+	// irregular size-exchange phase) on their per-device payload.
+	uniReplay shard[int64]
 
 	profiled atomic.Int64 // ground-truth profiles taken (profile-cache misses)
 	hits     atomic.Int64 // memoized predictions served (both caches)
@@ -149,6 +165,7 @@ func NewModel(c hw.Cluster) *Model {
 	m := &Model{
 		Cluster:      c,
 		ComputeScale: 1.0,
+		net:          netsim.New(c),
 	}
 	m.buildCommTables(c.TotalGPUs())
 	return m
@@ -546,14 +563,14 @@ func (m *Model) ValidateProfile(prof *netsim.RoutingProfile) error {
 }
 
 // AllToAllSkewedUs prices an all-to-all whose per-pair traffic follows the
-// routing profile instead of the uniform split, by draining the profile's
-// transfer matrix (scaled to a mean payload of bytesPerDevice) on the
-// link-level network simulator — the skew-aware path of DESIGN.md §10. A
-// nil profile falls back to the closed-form uniform model, and a uniform
-// profile reproduces the closed form within tolerance (the equivalence the
-// tests pin), so callers can thread one code path for both workloads.
-// Results are memoized on (bytes, profile fingerprint) like every other
-// prediction.
+// routing profile instead of the uniform split — the skew-aware path of
+// DESIGN.md §10. A nil profile falls back to the closed-form uniform model,
+// and a uniform profile reproduces the closed form within tolerance (the
+// equivalence the tests pin), so callers can thread one code path for both
+// workloads. Since the zero-alloc refactor (DESIGN.md §13) the price comes
+// from the profile's lazily built interpolation table rather than a full
+// link-level replay per distinct payload; payloads below the table floor
+// keep the exact-replay memo.
 func (m *Model) AllToAllSkewedUs(bytesPerDevice int64, prof *netsim.RoutingProfile) float64 {
 	if prof == nil {
 		return m.groundAllToAllUs(bytesPerDevice, m.Cluster.TotalGPUs())
@@ -564,21 +581,75 @@ func (m *Model) AllToAllSkewedUs(bytesPerDevice int64, prof *netsim.RoutingProfi
 	if bytesPerDevice <= 0 {
 		return 0
 	}
-	key := skewKey{bytes: bytesPerDevice, fp: prof.Fingerprint()}
-	s := &m.skewed[key.shard()]
-	if t, ok := s.get(key); ok {
-		m.hits.Add(1)
-		return t
+	if bytesPerDevice < skewTableMinBytes {
+		return m.skewedExactUs(bytesPerDevice, prof)
 	}
-	t, err := netsim.New(m.Cluster).AllToAllUs(prof.Matrix(bytesPerDevice))
-	if err != nil {
-		// A validated profile emits a square, non-negative matrix; anything
-		// else is a programming error, not a workload property.
-		panic(fmt.Sprintf("cost: netsim rejected a profile matrix: %v", err))
+	t := m.skewTableFor(prof)
+	m.hits.Add(1)
+	return t.lookup(bytesPerDevice)
+}
+
+// A2APricer prices skewed and partitioned all-to-alls for one routing
+// profile without touching the model's locked caches: the partition DP
+// acquires one per window and then prices every candidate instruction
+// through plain table interpolation — no shard round-trip, no allocation
+// (DESIGN.md §13). The zero value is not usable; obtain one from NewA2APricer.
+type A2APricer struct {
+	m    *Model
+	prof *netsim.RoutingProfile
+	tab  *skewTable
+}
+
+// NewA2APricer validates the profile once and resolves (building if needed)
+// its interpolation table up front, so every subsequent lookup on the
+// returned pricer is lock-free and allocation-free. A nil profile yields a
+// pricer whose SkewedUs falls back to the closed-form uniform model, same
+// as AllToAllSkewedUs.
+func (m *Model) NewA2APricer(prof *netsim.RoutingProfile) A2APricer {
+	p := A2APricer{m: m, prof: prof}
+	if prof != nil {
+		if err := m.ValidateProfile(prof); err != nil {
+			panic(err.Error())
+		}
+		p.tab = m.skewTableFor(prof)
 	}
-	s.put(key, t)
-	m.misses.Add(1)
-	return t
+	return p
+}
+
+// Profiled reports whether the pricer carries a routing profile (skew-aware
+// pricing) or falls back to the uniform closed form.
+func (p A2APricer) Profiled() bool { return p.prof != nil }
+
+// SkewedUs returns exactly what AllToAllSkewedUs(bytesPerDevice, prof)
+// would, minus the per-call cache traffic.
+func (p A2APricer) SkewedUs(bytesPerDevice int64) float64 {
+	if p.prof == nil {
+		return p.m.groundAllToAllUs(bytesPerDevice, p.m.Cluster.TotalGPUs())
+	}
+	if bytesPerDevice <= 0 {
+		return 0
+	}
+	if bytesPerDevice < skewTableMinBytes {
+		return p.m.skewedExactUs(bytesPerDevice, p.prof)
+	}
+	return p.tab.lookup(bytesPerDevice)
+}
+
+// PartitionedUs returns exactly what PredictA2APartitioned(bytes, devices, n)
+// would — the uniform table queried at bytes/n — without the commKey shard
+// acquisition. Used by the DP's padded-closed-form cap.
+func (p A2APricer) PartitionedUs(bytes int64, devices, n int) float64 {
+	if n < 1 {
+		n = 1
+	}
+	bytes /= int64(n)
+	if devices == 0 {
+		devices = p.m.tableDevices
+	}
+	if devices != p.m.tableDevices {
+		return p.m.groundCommUs(ir.OpAllToAll, bytes, devices)
+	}
+	return interpolate(p.m.a2aTable, bytes)
 }
 
 // IrregularA2AUs prices the two-phase irregular all-to-all of paper Fig. 10:
@@ -627,14 +698,55 @@ func interpolate(table []commPoint, bytes int64) float64 {
 }
 
 // bucket quantizes sizes so the profile cache hits for near-identical
-// shapes (two buckets per octave).
+// shapes (two buckets per octave). It is on the prediction hot path (two
+// calls per PredictInstr key), so the round(2*log2(v)) formula is evaluated
+// through a precomputed threshold table instead of math.Log2 — bucketSlow
+// remains the specification and the table is derived from it at init, so
+// the two agree on every int64 (asserted by TestBucketTableMatchesFormula).
 func bucket(v int64) int64 {
+	if v <= 0 {
+		return 0
+	}
+	// floor(log2 v) pins round(2*log2 v) to one of three candidates; two
+	// threshold comparisons pick among them.
+	k := int64(2 * (bits.Len64(uint64(v)) - 1))
+	if k+1 < int64(len(bucketThresholds)) && v >= bucketThresholds[k+1] {
+		k++
+	}
+	if k+1 < int64(len(bucketThresholds)) && v >= bucketThresholds[k+1] {
+		k++
+	}
+	return k
+}
+
+// bucketSlow is the original formula bucket must reproduce exactly.
+func bucketSlow(v int64) int64 {
 	if v <= 0 {
 		return 0
 	}
 	e := math.Log2(float64(v))
 	return int64(math.Round(e * 2))
 }
+
+// bucketThresholds[k] is the smallest v >= 1 with bucketSlow(v) >= k,
+// found by binary search over the (monotone) formula itself so float
+// rounding at the half-octave boundaries is honored bit for bit.
+var bucketThresholds = func() [128]int64 {
+	var t [128]int64
+	for k := range t {
+		lo, hi := int64(1), int64(math.MaxInt64)
+		for lo < hi {
+			mid := lo + (hi-lo)/2
+			if bucketSlow(mid) >= int64(k) {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		t[k] = lo
+	}
+	return t
+}()
 
 // measurementNoise derives a deterministic pseudo-random perturbation in
 // [-0.015, 0.015] from the profile key.

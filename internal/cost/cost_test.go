@@ -531,3 +531,32 @@ func TestTopologySkewedUniformEquivalence(t *testing.T) {
 		}
 	}
 }
+
+// The table-driven bucket must agree with the round(2*log2(v)) formula on
+// every input: a dense sweep of the small sizes the IR actually produces,
+// the exact threshold neighborhoods, and a pseudo-random spray of the full
+// int64 range.
+func TestBucketTableMatchesFormula(t *testing.T) {
+	for v := int64(-2); v <= 1<<20; v++ {
+		if got, want := bucket(v), bucketSlow(v); got != want {
+			t.Fatalf("bucket(%d) = %d, want %d", v, got, want)
+		}
+	}
+	for _, th := range bucketThresholds {
+		for _, v := range []int64{th - 2, th - 1, th, th + 1, th + 2} {
+			if got, want := bucket(v), bucketSlow(v); got != want {
+				t.Fatalf("bucket(%d) = %d, want %d (threshold %d)", v, got, want, th)
+			}
+		}
+	}
+	x := uint64(0x9e3779b97f4a7c15)
+	for i := 0; i < 1_000_000; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		v := int64(x >> 1) // non-negative spray across the full range
+		if got, want := bucket(v), bucketSlow(v); got != want {
+			t.Fatalf("bucket(%d) = %d, want %d", v, got, want)
+		}
+	}
+}

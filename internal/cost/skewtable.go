@@ -1,0 +1,167 @@
+package cost
+
+import (
+	"fmt"
+	"sync"
+
+	"lancet/internal/netsim"
+)
+
+// The skew interpolation tables (DESIGN.md §13) replace the full link-level
+// netsim replay AllToAllSkewedUs used to pay on every distinct payload with
+// a precomputed piecewise-linear table per routing-profile fingerprint:
+// built lazily from exact replays on a geometric byte ladder, then consulted
+// lock-free and allocation-free by every subsequent query.
+//
+// The table can afford to be small because per-link drain time is affine in
+// the payload scale: a device's tier load is (up to integer byte rounding)
+// proportional to bytesPerDevice, and load/effBW(peak, load) expands to
+// (load + ramp)/peak. The replayed total is the max of such affine
+// functions, so it is piecewise linear in bytesPerDevice — and whenever the
+// same link bounds both endpoints of a segment, the max is a single affine
+// function over the whole segment (affine functions cross at most once) and
+// linear interpolation is *exact* up to the sub-byte rounding of the
+// transfer matrix. Build therefore refines the ladder until neighboring
+// points agree on their bounding link, which keeps the practical error
+// orders of magnitude below the ≤2% bound the property tests pin.
+
+const (
+	// skewTableMinBytes floors the table: tinier payloads round most matrix
+	// entries to zero bytes, making the replay a discontinuous staircase
+	// that interpolation cannot bound. Queries below it (absent from every
+	// real workload — the DP's micro-payloads are tens of KB and up) take
+	// the exact-replay memo instead.
+	skewTableMinBytes = int64(1) << 10
+	// skewTableMaxPoints caps refinement: a pathological profile whose
+	// bounding link flaps from rounding noise must not degenerate into one
+	// replay per query.
+	skewTableMaxPoints = 512
+)
+
+// skewTable is the immutable interpolation table of one (routing profile,
+// cluster) pair. Safe for concurrent lock-free reads once built.
+type skewTable struct {
+	points []commPoint // ascending bytes, f(bytes) in microseconds
+}
+
+// lookup interpolates the table at bytesPerDevice. Callers guarantee
+// bytesPerDevice >= skewTableMinBytes (== points[0].bytes); queries beyond
+// the last point extrapolate at the final segment's slope, exactly like the
+// uniform comm tables.
+func (t *skewTable) lookup(bytesPerDevice int64) float64 {
+	return interpolate(t.points, bytesPerDevice)
+}
+
+// skewTableEntry makes lazy per-fingerprint construction race-free: the
+// registry lock only guards the map, while the (expensive) build runs under
+// the entry's own once, so two goroutines warming different profiles build
+// concurrently and two warming the same profile build it exactly once.
+type skewTableEntry struct {
+	once sync.Once
+	tab  *skewTable
+}
+
+// skewTableFor returns the interpolation table for the profile, building it
+// on first use.
+func (m *Model) skewTableFor(prof *netsim.RoutingProfile) *skewTable {
+	fp := prof.Fingerprint()
+	m.skewTabMu.Lock()
+	e, ok := m.skewTabs[fp]
+	if !ok {
+		if m.skewTabs == nil {
+			m.skewTabs = make(map[uint64]*skewTableEntry)
+		}
+		e = &skewTableEntry{}
+		m.skewTabs[fp] = e
+	}
+	m.skewTabMu.Unlock()
+	e.once.Do(func() {
+		e.tab = m.buildSkewTable(prof)
+		m.misses.Add(1)
+	})
+	return e.tab
+}
+
+// buildSkewTable replays the profile's transfer matrix at a geometric byte
+// ladder (one point per octave from skewTableMinBytes to maxProfiledBytes),
+// then subdivides every segment whose endpoints disagree on the bounding
+// link until they agree — the condition under which linear interpolation is
+// exact (see the package comment above).
+func (m *Model) buildSkewTable(prof *netsim.RoutingProfile) *skewTable {
+	type point struct {
+		commPoint
+		arg netsim.DrainArgmax
+	}
+	eval := func(b int64) point {
+		timing, arg, err := m.net.AllToAllTimedArgmax(prof.Matrix(b))
+		if err != nil {
+			// A validated profile emits a square, non-negative matrix;
+			// anything else is a programming error, not a workload property.
+			panic(fmt.Sprintf("cost: netsim rejected a profile matrix: %v", err))
+		}
+		return point{commPoint{b, timing.TotalUs}, arg}
+	}
+	var pts []point
+	for b := skewTableMinBytes; ; b *= 2 {
+		pts = append(pts, eval(b))
+		if b >= maxProfiledBytes {
+			break
+		}
+	}
+	for i := 0; i+1 < len(pts) && len(pts) < skewTableMaxPoints; {
+		lo, hi := pts[i], pts[i+1]
+		if lo.arg == hi.arg || hi.bytes-lo.bytes <= 64 {
+			i++
+			continue
+		}
+		mid := eval(lo.bytes + (hi.bytes-lo.bytes)/2)
+		pts = append(pts, point{})
+		copy(pts[i+2:], pts[i+1:])
+		pts[i+1] = mid
+	}
+	t := &skewTable{points: make([]commPoint, len(pts))}
+	for i, p := range pts {
+		t.points[i] = p.commPoint
+	}
+	return t
+}
+
+// skewedExactUs is the pre-table pricing path: an exact link-level replay
+// memoized on (bytes, profile fingerprint). It survives as the fallback for
+// payloads below the table floor, where matrix rounding makes interpolation
+// meaningless.
+func (m *Model) skewedExactUs(bytesPerDevice int64, prof *netsim.RoutingProfile) float64 {
+	key := skewKey{bytes: bytesPerDevice, fp: prof.Fingerprint()}
+	s := &m.skewed[key.shard()]
+	if t, ok := s.get(key); ok {
+		m.hits.Add(1)
+		return t
+	}
+	t, err := m.net.AllToAllUs(prof.Matrix(bytesPerDevice))
+	if err != nil {
+		panic(fmt.Sprintf("cost: netsim rejected a profile matrix: %v", err))
+	}
+	s.put(key, t)
+	m.misses.Add(1)
+	return t
+}
+
+// UniformReplayUs prices a *uniform* all-to-all of bytesPerDevice on the
+// link-level simulator (not the closed form) and memoizes the result — the
+// replay bound the session's irregular-override path charges for the
+// size-exchange phase. Byte-identical to draining
+// netsim.UniformMatrix(devices, bytesPerDevice) on a fresh Network.
+func (m *Model) UniformReplayUs(bytesPerDevice int64) float64 {
+	s := &m.uniReplay
+	if t, ok := s.get(bytesPerDevice); ok {
+		m.hits.Add(1)
+		return t
+	}
+	t, err := m.net.AllToAllUs(netsim.UniformMatrix(m.Cluster.TotalGPUs(), bytesPerDevice))
+	if err != nil {
+		panic(fmt.Sprintf("cost: netsim rejected a uniform matrix: %v", err))
+	}
+	s.put(bytesPerDevice, t)
+	m.misses.Add(1)
+	return t
+}

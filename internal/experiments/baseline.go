@@ -22,6 +22,13 @@ type BaselineComparison struct {
 	// failures, but a hint that the committed baseline is stale and should
 	// be refreshed to keep the gate tight.
 	Improvements []string
+	// Worst describes the cell with the largest slowdown (absolute values
+	// and relative drift), whether or not it tripped the gate — so a CI log
+	// shows how much headroom a green run had, and a red run's dominant
+	// offender, without re-running locally. Empty when no cells compared.
+	Worst string
+	// WorstRel is Worst's relative drift (positive = slower).
+	WorstRel float64
 }
 
 // CompareBaseline compares two suite JSON documents (the -json output of
@@ -133,7 +140,13 @@ func (cmp *BaselineComparison) compareTable(base, cand *Table, tol float64) {
 			if bv == 0 {
 				continue
 			}
-			switch rel := (cv - bv) / bv; {
+			rel := (cv - bv) / bv
+			if cmp.Worst == "" || rel > cmp.WorstRel {
+				cmp.Worst = fmt.Sprintf("%s[%s][%s]: %.1f ms vs baseline %.1f ms (%+.1f%%)",
+					base.ID, label, header, cv, bv, rel*100)
+				cmp.WorstRel = rel
+			}
+			switch {
 			case rel > tol:
 				cmp.Regressions = append(cmp.Regressions,
 					fmt.Sprintf("%s[%s][%s]: %.1f ms vs baseline %.1f ms (+%.1f%%, tolerance %.0f%%)",

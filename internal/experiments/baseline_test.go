@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"math"
 	"strings"
 	"testing"
 	"time"
@@ -196,5 +197,26 @@ func TestCompareBaselineFlagsShortCandidateRow(t *testing.T) {
 	}
 	if cmp.Cells != 1 {
 		t.Errorf("compared %d cells, want 1 (the surviving Lancet cell)", cmp.Cells)
+	}
+}
+
+// The worst-drift cell is reported with absolute values even when the gate
+// passes, so a green CI log still shows its headroom.
+func TestCompareBaselineReportsWorstDrift(t *testing.T) {
+	base := benchDoc(t, []Result{{Name: "fig11", Table: benchTable("fig11",
+		[]string{"16", "100.0", "150.0", "1.50x"})}})
+	cand := benchDoc(t, []Result{{Name: "fig11", Table: benchTable("fig11",
+		[]string{"16", "110.0", "140.0", "1.27x"})}})
+	cmp, err := CompareBaseline(base, cand, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Lancet (ms)", "110.0 ms", "baseline 100.0 ms", "+10.0%"} {
+		if !strings.Contains(cmp.Worst, want) {
+			t.Errorf("worst drift %q should contain %q", cmp.Worst, want)
+		}
+	}
+	if math.Abs(cmp.WorstRel-0.10) > 1e-9 {
+		t.Errorf("WorstRel = %v, want 0.10", cmp.WorstRel)
 	}
 }

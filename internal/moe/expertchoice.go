@@ -68,6 +68,13 @@ func SkewedInputs(l *Layer, tokens int, skew float64, seed int64) []*tensor.Tens
 	rng := newSplitmixRand(uint64(seed))
 	xs := make([]*tensor.Tensor, cfg.Devices)
 	e := cfg.TotalExperts()
+	// The Zipf weights depend only on (e, skew); computing them per token
+	// (a pow call per expert per token) used to dominate workload synthesis.
+	var weights []float64
+	var total float64
+	if skew > 0 {
+		weights, total = zipfWeights(e, skew)
+	}
 	for d := range xs {
 		x := tensor.New(tokens, cfg.Hidden)
 		for i := 0; i < tokens; i++ {
@@ -81,7 +88,7 @@ func SkewedInputs(l *Layer, tokens int, skew float64, seed int64) []*tensor.Tens
 			// Pick a target expert with Zipf-ish popularity and push the
 			// token toward that expert's gate direction (the corresponding
 			// column of GateW), raising its score.
-			target := zipfPick(rng, e, skew)
+			target := pickWeighted(rng, weights, total)
 			for j := range row {
 				row[j] += float32(skew) * l.GateW.Data[j*e+target] * 50
 			}
@@ -94,6 +101,14 @@ func SkewedInputs(l *Layer, tokens int, skew float64, seed int64) []*tensor.Tens
 // zipfPick samples an expert index with probability proportional to
 // 1/(rank+1)^skew.
 func zipfPick(r *splitmixRand, n int, skew float64) int {
+	weights, total := zipfWeights(n, skew)
+	return pickWeighted(r, weights, total)
+}
+
+// zipfWeights returns the (unnormalized) Zipf weight table and its sum, in
+// the same accumulation order zipfPick always used, so hoisting the table
+// out of a sampling loop changes no sampled index.
+func zipfWeights(n int, skew float64) ([]float64, float64) {
 	total := 0.0
 	weights := make([]float64, n)
 	for i := 0; i < n; i++ {
@@ -101,6 +116,11 @@ func zipfPick(r *splitmixRand, n int, skew float64) int {
 		weights[i] = w
 		total += w
 	}
+	return weights, total
+}
+
+// pickWeighted draws one index from the weight table by inverse CDF walk.
+func pickWeighted(r *splitmixRand, weights []float64, total float64) int {
 	u := r.float() * total
 	for i, w := range weights {
 		u -= w
@@ -108,7 +128,7 @@ func zipfPick(r *splitmixRand, n int, skew float64) int {
 			return i
 		}
 	}
-	return n - 1
+	return len(weights) - 1
 }
 
 // splitmixRand is a tiny deterministic RNG so skewed workloads are

@@ -16,17 +16,68 @@ package netsim
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"lancet/internal/hw"
 )
 
-// Network simulates collectives on a cluster.
+// Network simulates collectives on a cluster. The constructor precomputes
+// the per-pair tier classification and per-device tier bandwidths once, and
+// timed replays borrow their per-tier load accumulators from a sync.Pool, so
+// the drain loop itself allocates nothing in steady state (DESIGN.md §13).
+// A Network is safe for concurrent use; hold one per cost model or session
+// rather than building one per replay.
 type Network struct {
 	Cluster hw.Cluster
+
+	g    int
+	tier []hw.Tier              // tier[src*g+dst]: path tier of each pair
+	bw   [hw.NumTiers][]float64 // bw[t][dev]: peak bytes/sec of dev on tier t
+	pool sync.Pool              // *drainScratch
 }
 
-// New builds a network simulator for the cluster.
-func New(c hw.Cluster) *Network { return &Network{Cluster: c} }
+// drainScratch is the reusable working set of one timed replay: flat
+// per-tier, per-device egress/ingress byte accumulators indexed tier*g+dev —
+// the arena that replaces the per-call slice-of-slices of the original drain
+// loop.
+type drainScratch struct {
+	eg, in []float64
+}
+
+// New builds a network simulator for the cluster, precomputing the pair-tier
+// index and per-device tier bandwidths (O(devices²), the cost of a single
+// drain under the previous implementation).
+func New(c hw.Cluster) *Network {
+	g := c.TotalGPUs()
+	n := &Network{Cluster: c, g: g, tier: make([]hw.Tier, g*g)}
+	for src := 0; src < g; src++ {
+		for dst := 0; dst < g; dst++ {
+			if src != dst {
+				n.tier[src*g+dst] = c.TierOf(src, dst)
+			}
+		}
+	}
+	for t := hw.Tier(0); t < hw.NumTiers; t++ {
+		n.bw[t] = make([]float64, g)
+		for d := 0; d < g; d++ {
+			n.bw[t][d] = c.TierGBsPerGPUOf(d, t) * 1e9
+		}
+	}
+	return n
+}
+
+// scratch borrows a cleared drain arena from the pool.
+func (n *Network) scratch() *drainScratch {
+	if s, ok := n.pool.Get().(*drainScratch); ok {
+		clear(s.eg)
+		clear(s.in)
+		return s
+	}
+	return &drainScratch{
+		eg: make([]float64, int(hw.NumTiers)*n.g),
+		in: make([]float64, int(hw.NumTiers)*n.g),
+	}
+}
 
 // A2ATiming is a topology-decomposed all-to-all completion time: the
 // per-tier drain bounds (the slowest device's load on each tier, already in
@@ -59,22 +110,25 @@ func (n *Network) AllToAllUs(sizes [][]int64) (float64, error) {
 // per-tier bottleneck reduction, not one flat effective bandwidth), and the
 // most-loaded link sets completion.
 func (n *Network) AllToAllTimed(sizes [][]int64) (A2ATiming, error) {
-	g := n.Cluster.TotalGPUs()
+	g := n.g
 	if len(sizes) != g {
 		return A2ATiming{}, fmt.Errorf("netsim: matrix is %dx? for %d devices", len(sizes), g)
 	}
-	// eg[tier][dev] / in[tier][dev] accumulate bytes per tier per device.
-	var eg, in [hw.NumTiers][]float64
-	for t := range eg {
-		eg[t] = make([]float64, g)
-		in[t] = make([]float64, g)
-	}
+	// eg[tier*g+dev] / in[tier*g+dev] accumulate bytes per tier per device
+	// in a pooled arena: the accumulation order and arithmetic are identical
+	// to the original per-pair map walk, so outputs are byte-identical.
+	sc := n.scratch()
+	defer n.pool.Put(sc)
+	eg, in := sc.eg, sc.in
+	nicOff := int(hw.TierNIC) * g
 	total := int64(0)
 	for src := range sizes {
-		if len(sizes[src]) != g {
-			return A2ATiming{}, fmt.Errorf("netsim: row %d has %d entries for %d devices", src, len(sizes[src]), g)
+		row := sizes[src]
+		if len(row) != g {
+			return A2ATiming{}, fmt.Errorf("netsim: row %d has %d entries for %d devices", src, len(row), g)
 		}
-		for dst, b := range sizes[src] {
+		tiers := n.tier[src*g : src*g+g]
+		for dst, b := range row {
 			if b < 0 {
 				return A2ATiming{}, fmt.Errorf("netsim: negative payload at [%d][%d]", src, dst)
 			}
@@ -82,15 +136,16 @@ func (n *Network) AllToAllTimed(sizes [][]int64) (A2ATiming, error) {
 				continue
 			}
 			total += b
-			tier := n.Cluster.TierOf(src, dst)
-			eg[tier][src] += float64(b)
-			in[tier][dst] += float64(b)
-			if tier == hw.TierSpine {
+			off := int(tiers[dst]) * g
+			fb := float64(b)
+			eg[off+src] += fb
+			in[off+dst] += fb
+			if tiers[dst] == hw.TierSpine {
 				// Inter-rack bytes traverse the node's NIC on both ends
 				// before hitting the spine, so they count against the NIC
 				// budget too.
-				eg[hw.TierNIC][src] += float64(b)
-				in[hw.TierNIC][dst] += float64(b)
+				eg[nicOff+src] += fb
+				in[nicOff+dst] += fb
 			}
 		}
 	}
@@ -100,13 +155,16 @@ func (n *Network) AllToAllTimed(sizes [][]int64) (A2ATiming, error) {
 	var res A2ATiming
 	for tier := hw.Tier(0); tier < hw.NumTiers; tier++ {
 		bound := 0.0
+		off := int(tier) * g
+		egT, inT := eg[off:off+g], in[off:off+g]
+		bwT := n.bw[tier]
 		for d := 0; d < g; d++ {
 			// Each device drains at its own class's rate (DESIGN.md §12):
 			// a flow between a fast and a slow node is counted at both
 			// endpoints, so the slower one bounds the pair.
-			bw := n.Cluster.TierGBsPerGPUOf(d, tier) * 1e9
-			bound = math.Max(bound, eg[tier][d]/effBW(bw, eg[tier][d]))
-			bound = math.Max(bound, in[tier][d]/effBW(bw, in[tier][d]))
+			bw := bwT[d]
+			bound = math.Max(bound, egT[d]/effBW(bw, egT[d]))
+			bound = math.Max(bound, inT[d]/effBW(bw, inT[d]))
 		}
 		res.TierUs[tier] = bound * 1e6
 		if res.TierUs[tier] > res.TierUs[res.Bottleneck] {
@@ -116,6 +174,62 @@ func (n *Network) AllToAllTimed(sizes [][]int64) (A2ATiming, error) {
 	alpha := 15.0 + 0.4*float64(g)
 	res.TotalUs = alpha + res.TierUs[res.Bottleneck]
 	return res, nil
+}
+
+// DrainArgmax identifies which (tier, device, direction) load bounds a
+// timed replay: the link whose drain sets A2ATiming.TotalUs. The cost
+// model's skew interpolation tables use it to subdivide byte segments until
+// both endpoints share a bounding link — per-link drain time is affine in
+// the payload scale, so within such a segment linear interpolation is exact
+// up to integer byte rounding (DESIGN.md §13).
+type DrainArgmax struct {
+	tier    hw.Tier
+	dev     int
+	ingress bool
+}
+
+// AllToAllTimedArgmax is AllToAllTimed plus the bounding link of the
+// dominant tier.
+func (n *Network) AllToAllTimedArgmax(sizes [][]int64) (A2ATiming, DrainArgmax, error) {
+	res, err := n.AllToAllTimed(sizes)
+	if err != nil || res.TotalUs == 0 {
+		return res, DrainArgmax{}, err
+	}
+	// Re-walk only the dominant tier's loads to recover the argmax; the
+	// replay above stays the single source of the timing itself.
+	sc := n.scratch()
+	defer n.pool.Put(sc)
+	eg, in := sc.eg, sc.in
+	g := n.g
+	for src := range sizes {
+		tiers := n.tier[src*g : src*g+g]
+		for dst, b := range sizes[src] {
+			if src == dst || b == 0 {
+				continue
+			}
+			off := int(tiers[dst]) * g
+			fb := float64(b)
+			eg[off+src] += fb
+			in[off+dst] += fb
+			if tiers[dst] == hw.TierSpine {
+				eg[int(hw.TierNIC)*g+src] += fb
+				in[int(hw.TierNIC)*g+dst] += fb
+			}
+		}
+	}
+	arg := DrainArgmax{tier: res.Bottleneck}
+	off := int(res.Bottleneck) * g
+	best := 0.0
+	for d := 0; d < g; d++ {
+		bw := n.bw[res.Bottleneck][d]
+		if t := eg[off+d] / effBW(bw, eg[off+d]); t > best {
+			best, arg.dev, arg.ingress = t, d, false
+		}
+		if t := in[off+d] / effBW(bw, in[off+d]); t > best {
+			best, arg.dev, arg.ingress = t, d, true
+		}
+	}
+	return res, arg, nil
 }
 
 // UniformMatrix builds the transfer matrix of a balanced all-to-all where

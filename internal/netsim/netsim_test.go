@@ -12,6 +12,7 @@ import (
 	"lancet/internal/hw"
 	"lancet/internal/ir"
 	"lancet/internal/netsim"
+	"lancet/internal/race"
 )
 
 func TestUniformAgreesWithClosedForm(t *testing.T) {
@@ -404,4 +405,71 @@ func TestTopologyOversubMonotone(t *testing.T) {
 		}
 		prev = us
 	}
+}
+
+// The timed drain loop runs on pooled arenas and must not allocate in
+// steady state (DESIGN.md §13); the ratchet in perf_floor.txt pins it at 0.
+func TestDrainZeroAllocs(t *testing.T) {
+	if race.Enabled {
+		t.Skip("allocation counts are not deterministic under the race detector")
+	}
+	n := netsim.New(hw.V100Cluster(2))
+	m := netsim.ZipfProfile(16, 1.2).Matrix(16 << 20)
+	if _, err := n.AllToAllTimed(m); err != nil { // warm the pool
+		t.Fatal(err)
+	}
+	sink := 0.0
+	if allocs := testing.AllocsPerRun(100, func() {
+		timing, err := n.AllToAllTimed(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sink += timing.TotalUs
+	}); allocs != 0 {
+		t.Errorf("timed drain allocates %v per run, want 0", allocs)
+	}
+	_ = sink
+}
+
+// The argmax variant re-walks the dominant tier on the same arenas and must
+// stay allocation-free too.
+func TestDrainArgmaxZeroAllocs(t *testing.T) {
+	if race.Enabled {
+		t.Skip("allocation counts are not deterministic under the race detector")
+	}
+	n := netsim.New(hw.V100Cluster(2))
+	m := netsim.HotExpertProfile(16, 0.6).Matrix(8 << 20)
+	if _, _, err := n.AllToAllTimedArgmax(m); err != nil {
+		t.Fatal(err)
+	}
+	sink := 0.0
+	if allocs := testing.AllocsPerRun(100, func() {
+		timing, _, err := n.AllToAllTimedArgmax(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sink += timing.TotalUs
+	}); allocs != 0 {
+		t.Errorf("argmax drain allocates %v per run, want 0", allocs)
+	}
+	_ = sink
+}
+
+// BenchmarkNetsimDrain measures one timed replay of a skewed 16-device
+// matrix — the link-level evaluation the skew tables are built from.
+// Steady state must be 0 allocs/op (ratcheted by perf_floor.txt).
+func BenchmarkNetsimDrain(b *testing.B) {
+	n := netsim.New(hw.V100Cluster(2))
+	m := netsim.ZipfProfile(16, 1.2).Matrix(16 << 20)
+	sink := 0.0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		timing, err := n.AllToAllTimed(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink += timing.TotalUs
+	}
+	_ = sink
 }

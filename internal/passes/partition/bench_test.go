@@ -88,3 +88,40 @@ func BenchmarkDPvsFixedRanges(b *testing.B) {
 		b.ReportMetric(fwd/1000, "fwd_ms")
 	})
 }
+
+// BenchmarkPartitionDP measures the DP inner loop for one candidate window
+// — the per-window index build, the k-independent boundary cost, and a full
+// k sweep of pipeline-span simulations on the pooled scratch. This is the
+// work Run repeats for every (i, j) window pair; steady state must be
+// 0 allocs/op (ratcheted exactly by perf_floor.txt).
+func BenchmarkPartitionDP(b *testing.B) {
+	built, cm := benchFixture(b)
+	h := built.MoE[0]
+	window := built.Graph.Instrs[h.Gate : h.Gather+1]
+	asg := inferAxes(built.Graph, window, true)
+	if asg == nil {
+		b.Fatal("window must be solvable")
+	}
+	pr := cm.NewA2APricer(nil)
+	sc := getScratch()
+	defer putScratch(sc)
+	sc.beginDurMemo(len(built.Graph.Instrs), 8)
+	built.Graph.Preds(window[0].ID) // build the adjacency index up front
+	sink := 0.0
+	// Warm the memoized instruction profiles and the scratch arenas.
+	sc.prepareWindow(built.Graph, window)
+	for k := 2; k <= 8; k++ {
+		sink += sc.pipelineSpan(cm, window, k, pr, 1)
+	}
+	sink += boundaryCostUs(built.Graph, cm, window, asg, sc)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		boundary := boundaryCostUs(built.Graph, cm, window, asg, sc)
+		sc.prepareWindow(built.Graph, window)
+		for k := 2; k <= 8; k++ {
+			sink += sc.pipelineSpan(cm, window, k, pr, 1) + boundary
+		}
+	}
+	_ = sink
+}

@@ -84,12 +84,32 @@ type Result struct {
 	SerialForwardUs float64
 }
 
-// Run executes the operator partition pass.
+// choice records one DP decision: partition the groups (from, j] k ways (or
+// keep them serial when k == 1).
+type choice struct {
+	from int
+	k    int
+	axes Assignment
+	pUs  float64
+	sUs  float64
+}
+
+// Run executes the operator partition pass. The DP sweep runs entirely on a
+// pooled scratch arena — prefix and DP tables, per-window dependency
+// indexes, the pipeline simulation's end-time matrix — and prices
+// all-to-alls through a batched pricer acquired once up front, so the inner
+// loop performs no allocations and no per-candidate cache round-trips in
+// steady state (DESIGN.md §13). Chosen ranges and costs are byte-identical
+// to the original per-candidate implementation.
 func Run(g *ir.Graph, cm *cost.Model, opts Options) (*Result, error) {
 	opts.fillDefaults()
 	if err := cm.ValidateProfile(opts.Profile); err != nil {
 		return nil, fmt.Errorf("partition: %w", err)
 	}
+	pr := cm.NewA2APricer(opts.Profile)
+	sc := getScratch()
+	defer putScratch(sc)
+	sc.beginDurMemo(len(g.Instrs), opts.MaxPartitions)
 
 	// The forward pass is the program prefix; everything after is
 	// backward/optimizer and is handled by the dW scheduling pass.
@@ -106,23 +126,21 @@ func Run(g *ir.Graph, cm *cost.Model, opts Options) (*Result, error) {
 	// prices a window by subtraction instead of re-walking it. The
 	// predictions themselves hit the cost model's memoization across the
 	// sweep's millions of repeated queries.
-	prefix := make([]float64, fwdEnd+1)
+	sc.prefix = grow(sc.prefix, fwdEnd+1)
+	prefix := sc.prefix
+	prefix[0] = 0
 	for i := 0; i < fwdEnd; i++ {
-		prefix[i+1] = prefix[i] + predictInstr(cm, g.Instr(i), opts.Profile, opts.PayloadFraction)
+		prefix[i+1] = prefix[i] + predictInstr(cm, g.Instr(i), pr, opts.PayloadFraction)
 	}
-	bounds := makeGroups(prefix, opts.GroupUs)
+	sc.bounds = makeGroups(prefix, opts.GroupUs, sc.bounds[:0])
+	bounds := sc.bounds
 	n := len(bounds) - 1 // number of groups
 
 	res := &Result{}
-	type choice struct {
-		from int
-		k    int
-		axes Assignment
-		pUs  float64
-		sUs  float64
-	}
-	T := make([]float64, n+1)
-	best := make([]choice, n+1)
+	sc.T = grow(sc.T, n+1)
+	sc.best = grow(sc.best, n+1)
+	T, best := sc.T, sc.best
+	T[0] = 0
 	for j := 1; j <= n; j++ {
 		T[j] = math.Inf(1)
 		lo := j - opts.MaxRangeGroups
@@ -147,8 +165,13 @@ func Run(g *ir.Graph, cm *cost.Model, opts Options) (*Result, error) {
 			if m := maxParts(g, asg); m < kmax {
 				kmax = m
 			}
+			// The boundary plumbing cost is k-independent; price it once per
+			// window and add it to every candidate's simulated span (the same
+			// sum pipelineCost computed per candidate).
+			boundary := boundaryCostUs(g, cm, window, asg, sc)
+			sc.prepareWindow(g, window)
 			for k := 2; k <= kmax; k++ {
-				p := pipelineCost(g, cm, window, asg, k, opts.Profile, opts.PayloadFraction)
+				p := sc.pipelineSpan(cm, window, k, pr, opts.PayloadFraction) + boundary
 				res.Evaluations++
 				if t := T[i] + p; t < T[j] {
 					T[j] = t
@@ -187,10 +210,11 @@ func Run(g *ir.Graph, cm *cost.Model, opts Options) (*Result, error) {
 // makeGroups splits the forward prefix into groups of roughly groupUs
 // predicted time and returns the group boundaries: bounds[i] is the first
 // instruction of group i, bounds[len-1] == len(prefix)-1. The prefix slice
-// holds cumulative predicted instruction times (see Run).
-func makeGroups(prefix []float64, groupUs float64) []int {
+// holds cumulative predicted instruction times (see Run); buf is reused as
+// backing storage when it has the capacity.
+func makeGroups(prefix []float64, groupUs float64, buf []int) []int {
 	fwdEnd := len(prefix) - 1
-	bounds := []int{0}
+	bounds := append(buf, 0)
 	acc := 0.0
 	for i := 0; i < fwdEnd; i++ {
 		acc += prefix[i+1] - prefix[i]

@@ -7,6 +7,7 @@ import (
 	"lancet/internal/hw"
 	"lancet/internal/ir"
 	"lancet/internal/model"
+	"lancet/internal/race"
 	"lancet/internal/sim"
 )
 
@@ -296,7 +297,7 @@ func TestGroupsCoverForwardExactly(t *testing.T) {
 	for i := 0; i < fwdEnd; i++ {
 		prefix[i+1] = prefix[i] + cm.PredictInstr(b.Graph.Instr(i))
 	}
-	bounds := makeGroups(prefix, 2000)
+	bounds := makeGroups(prefix, 2000, nil)
 	if bounds[0] != 0 || bounds[len(bounds)-1] != fwdEnd {
 		t.Fatalf("bounds %v do not span [0,%d]", bounds, fwdEnd)
 	}
@@ -338,4 +339,41 @@ func TestOptionsDefaults(t *testing.T) {
 	if keep.MaxPartitions != 4 || keep.GroupUs != 500 || keep.MaxRangeGroups != 3 {
 		t.Errorf("explicit options overwritten: %+v", keep)
 	}
+}
+
+// The DP inner loop — window index, boundary cost, pipeline-span sweep —
+// must not allocate once the scratch arenas and instruction-profile caches
+// are warm (DESIGN.md §13).
+func TestDPInnerLoopZeroAllocs(t *testing.T) {
+	if race.Enabled {
+		t.Skip("allocation counts are not deterministic under the race detector")
+	}
+	b, cm := buildFixture(t)
+	h := b.MoE[0]
+	w := b.Graph.Instrs[h.Gate : h.Gather+1]
+	asg := inferAxes(b.Graph, w, true)
+	if asg == nil {
+		t.Fatal("window must be solvable")
+	}
+	pr := cm.NewA2APricer(nil)
+	sc := getScratch()
+	defer putScratch(sc)
+	sc.beginDurMemo(len(b.Graph.Instrs), 8)
+	b.Graph.Preds(w[0].ID) // build the adjacency index up front
+	sink := 0.0
+	sc.prepareWindow(b.Graph, w)
+	for k := 2; k <= 8; k++ {
+		sink += sc.pipelineSpan(cm, w, k, pr, 1)
+	}
+	sink += boundaryCostUs(b.Graph, cm, w, asg, sc)
+	if allocs := testing.AllocsPerRun(100, func() {
+		boundary := boundaryCostUs(b.Graph, cm, w, asg, sc)
+		sc.prepareWindow(b.Graph, w)
+		for k := 2; k <= 8; k++ {
+			sink += sc.pipelineSpan(cm, w, k, pr, 1) + boundary
+		}
+	}); allocs != 0 {
+		t.Errorf("DP inner loop allocates %v per run, want 0", allocs)
+	}
+	_ = sink
 }

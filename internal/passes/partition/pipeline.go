@@ -7,12 +7,12 @@ import (
 )
 
 // predictInstr prices one instruction under the active routing profile:
-// all-to-alls under a non-nil profile go to the link-level simulator
-// (memoized in the cost model), everything else — and every op under
-// uniform routing — keeps the closed-form prediction path.
-func predictInstr(cm *cost.Model, in *ir.Instr, prof *netsim.RoutingProfile, frac float64) float64 {
-	if prof != nil && in.Op == ir.OpAllToAll {
-		return a2aProfiledUs(cm, in, 1, prof, frac)
+// all-to-alls under a profiled pricer go to the link-level model's skew
+// interpolation table, everything else — and every op under uniform
+// routing — keeps the closed-form prediction path.
+func predictInstr(cm *cost.Model, in *ir.Instr, pr cost.A2APricer, frac float64) float64 {
+	if pr.Profiled() && in.Op == ir.OpAllToAll {
+		return a2aProfiledUs(in, 1, pr, frac)
 	}
 	return cm.PredictInstr(in)
 }
@@ -23,10 +23,10 @@ func predictInstr(cm *cost.Model, in *ir.Instr, prof *netsim.RoutingProfile, fra
 // payload, capped at the padded closed form (capacity caps every
 // (source, expert) pair, so an irregular exchange can never exceed the
 // padded one on any link).
-func a2aProfiledUs(cm *cost.Model, in *ir.Instr, k int, prof *netsim.RoutingProfile, frac float64) float64 {
+func a2aProfiledUs(in *ir.Instr, k int, pr cost.A2APricer, frac float64) float64 {
 	routed := int64(float64(in.Bytes/int64(k)) * frac)
-	t := cm.AllToAllSkewedUs(routed, prof)
-	if padded := cm.PredictA2APartitioned(in.Bytes, in.CommDevices, k); t > padded {
+	t := pr.SkewedUs(routed)
+	if padded := pr.PartitionedUs(in.Bytes, in.CommDevices, k); t > padded {
 		t = padded
 	}
 	return t
@@ -55,7 +55,9 @@ type instanceRef struct {
 
 // schedulePlan returns the pipeline issue order of Fig. 9: stages in order;
 // within a stage, partitions in index order; within a stage-partition pair,
-// original program order.
+// original program order. The DP hot path inlines these loops over the
+// scratch arenas (dpScratch.pipelineSpan); this materialized form remains
+// for the rewrite, which needs the plan as a value.
 func schedulePlan(window []*ir.Instr, k int) []instanceRef {
 	st := stageOf(window)
 	nStages := 0
@@ -77,62 +79,72 @@ func schedulePlan(window []*ir.Instr, k int) []instanceRef {
 
 // instanceDur prices one micro-partition of an op. All-to-alls use the
 // paper's static-shape approximation (query the profiled table at C/n —
-// or, under a routing profile, the link-level simulator at C/n with the
-// same traffic shape); compute ops are re-profiled at 1/k of their work,
-// which captures kernel launch overhead and SM under-utilization of small
-// kernels.
-func instanceDur(cm *cost.Model, in *ir.Instr, k int, prof *netsim.RoutingProfile, frac float64) float64 {
+// or, under a routing profile, the skew interpolation table at C/n with
+// the same traffic shape); compute ops are re-profiled at 1/k of their
+// work, which captures kernel launch overhead and SM under-utilization of
+// small kernels. tmp is caller-owned scratch for the micro-partition
+// instruction, so the hot loop allocates no copies; the cost model only
+// reads its scalar fields.
+func instanceDur(cm *cost.Model, in *ir.Instr, k int, pr cost.A2APricer, frac float64, tmp *ir.Instr) float64 {
 	if in.Op == ir.OpAllToAll {
-		if prof != nil {
-			return a2aProfiledUs(cm, in, k, prof, frac)
+		if pr.Profiled() {
+			return a2aProfiledUs(in, k, pr, frac)
 		}
-		return cm.PredictA2APartitioned(in.Bytes, in.CommDevices, k)
+		return pr.PartitionedUs(in.Bytes, in.CommDevices, k)
 	}
-	c := ir.CopyInstr(in)
-	c.FLOPs /= float64(k)
-	c.Bytes /= int64(k)
-	c.NumParts = k
-	return cm.PredictInstr(c)
+	*tmp = *in
+	tmp.FLOPs /= float64(k)
+	tmp.Bytes /= int64(k)
+	tmp.NumParts = k
+	return cm.PredictInstr(tmp)
 }
 
 // boundaryCostUs prices the Partition/Reconstruct plumbing at the pipeline
 // edges. Batch- and capacity-axis splits are views into contiguous buffers
 // (free); irregular splits and reconstructions physically regroup tokens
-// and pay memory traffic.
-func boundaryCostUs(g *ir.Graph, cm *cost.Model, window []*ir.Instr, asg Assignment) float64 {
-	inside := make(map[int]bool, len(window))
-	produced := make(map[int]bool)
+// and pay memory traffic. The cost is k-independent, so Run computes it
+// once per window and adds it to every candidate's span; membership tests
+// run on the scratch's generation-stamped ID arrays instead of per-call
+// maps, and tensors are visited in program order (deterministic, unlike
+// the map iteration it replaces).
+func boundaryCostUs(g *ir.Graph, cm *cost.Model, window []*ir.Instr, asg Assignment, sc *dpScratch) float64 {
+	sc.insideI = grow(sc.insideI, len(g.Instrs))
+	sc.prodT = grow(sc.prodT, len(g.Tensors))
+	sc.seenT = grow(sc.seenT, len(g.Tensors))
+	sc.markGen++
+	gen := sc.markGen
 	for _, in := range window {
-		inside[in.ID] = true
+		sc.insideI[in.ID] = gen
 		for _, t := range in.Outs {
-			produced[t] = true
+			sc.prodT[t] = gen
 		}
 	}
 	total := 0.0
 	copyCost := func(t int) float64 {
-		in := &ir.Instr{Op: ir.OpReconstruct, Bytes: 2 * g.Tensor(t).Bytes()}
-		return cm.PredictInstr(in)
+		sc.tmp = ir.Instr{Op: ir.OpReconstruct, Bytes: 2 * g.Tensor(t).Bytes()}
+		return cm.PredictInstr(&sc.tmp)
 	}
-	seen := make(map[int]bool)
 	for _, in := range window {
 		for _, t := range in.Ins {
-			if produced[t] || seen[t] {
+			if sc.prodT[t] == gen || sc.seenT[t] == gen {
 				continue
 			}
-			seen[t] = true
+			sc.seenT[t] = gen
 			if asg[t] == AxisIrr {
 				total += copyCost(t) // irregular boundary split
 			}
 		}
 	}
-	for t := range produced {
-		if asg[t] != AxisIrr {
-			continue
-		}
-		for _, c := range g.Consumers(t) {
-			if !inside[c] {
-				total += copyCost(t) // irregular boundary reconstruct
-				break
+	for _, in := range window {
+		for _, t := range in.Outs {
+			if asg[t] != AxisIrr {
+				continue
+			}
+			for _, c := range g.Consumers(t) {
+				if sc.insideI[c] != gen {
+					total += copyCost(t) // irregular boundary reconstruct
+					break
+				}
 			}
 		}
 	}
@@ -142,61 +154,28 @@ func boundaryCostUs(g *ir.Graph, cm *cost.Model, window []*ir.Instr, asg Assignm
 // pipelineCost simulates the stage pipeline and returns P(i, n, k): the
 // end-to-end time of the partitioned window (Sec. 5.3). Each instance's
 // start time is the maximum of (i) the end of the instances it depends on
-// and (ii) the end of the previous instance on its stream.
+// and (ii) the end of the previous instance on its stream. This is the
+// standalone form for external callers and tests; Run drives the
+// decomposed pieces (prepareWindow / pipelineSpan / hoisted boundary cost)
+// directly on its own scratch.
 func pipelineCost(g *ir.Graph, cm *cost.Model, window []*ir.Instr, asg Assignment, k int, prof *netsim.RoutingProfile, frac float64) float64 {
-	// Window-local dependency edges (by position).
-	posOf := make(map[int]int, len(window))
-	for i, in := range window {
-		posOf[in.ID] = i
-	}
-	deps := make([][]int, len(window))
-	for i, in := range window {
-		for _, p := range g.Preds(in.ID) {
-			if j, ok := posOf[p]; ok {
-				deps[i] = append(deps[i], j)
-			}
-		}
-	}
-	durs := make([]float64, len(window))
-	for i, in := range window {
-		durs[i] = instanceDur(cm, in, k, prof, frac)
-	}
-
-	end := make([][]float64, len(window))
-	for i := range end {
-		end[i] = make([]float64, k)
-	}
-	var clock [2]float64
-	span := 0.0
-	for _, ref := range schedulePlan(window, k) {
-		in := window[ref.pos]
-		stream := 0
-		if in.IsComm() {
-			stream = 1
-		}
-		start := clock[stream]
-		for _, d := range deps[ref.pos] {
-			if end[d][ref.part] > start {
-				start = end[d][ref.part]
-			}
-		}
-		e := start + durs[ref.pos]
-		end[ref.pos][ref.part] = e
-		clock[stream] = e
-		if e > span {
-			span = e
-		}
-	}
-	return span + boundaryCostUs(g, cm, window, asg)
+	pr := cm.NewA2APricer(prof)
+	sc := getScratch()
+	defer putScratch(sc)
+	sc.beginDurMemo(len(g.Instrs), k)
+	sc.prepareWindow(g, window)
+	span := sc.pipelineSpan(cm, window, k, pr, frac)
+	return span + boundaryCostUs(g, cm, window, asg, sc)
 }
 
 // serialCost is the unpartitioned execution time of the window: the plain
 // sum of operator times (the forward pass is a dependency chain), priced
 // under the active routing profile.
 func serialCost(cm *cost.Model, window []*ir.Instr, prof *netsim.RoutingProfile, frac float64) float64 {
+	pr := cm.NewA2APricer(prof)
 	total := 0.0
 	for _, in := range window {
-		total += predictInstr(cm, in, prof, frac)
+		total += predictInstr(cm, in, pr, frac)
 	}
 	return total
 }

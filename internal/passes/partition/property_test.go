@@ -92,8 +92,9 @@ func TestPipelineCostLowerBound(t *testing.T) {
 		p := pipelineCost(b.Graph, cm, window, asg, k, nil, 1)
 		// One partition's chain: every op at 1/k size, run serially.
 		chain := 0.0
+		var tmp ir.Instr
 		for _, in := range window {
-			chain += instanceDur(cm, in, k, nil, 1)
+			chain += instanceDur(cm, in, k, cm.NewA2APricer(nil), 1, &tmp)
 		}
 		if p < chain-1e-6 {
 			t.Errorf("k=%d: pipeline %v us below single-chain critical path %v us", k, p, chain)

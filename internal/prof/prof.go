@@ -1,0 +1,69 @@
+// Package prof wires the standard pprof flags into a command: importing it
+// registers -cpuprofile and -memprofile on the default flag set, and Start
+// (called after flag.Parse) honors them. This is the workflow that drove
+// the planner hot-path refactor (DESIGN.md §13) — any operator can
+// reproduce the measurements with
+//
+//	lancet -skew 1.2 -cpuprofile cpu.out -memprofile mem.out
+//	go tool pprof cpu.out
+package prof
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+var (
+	cpuOut = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memOut = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+)
+
+// Start begins CPU profiling when -cpuprofile was given and returns the
+// function that flushes both profiles; defer it from main. Errors are
+// reported on the returned channel-free path: they terminate the process,
+// since a requested-but-broken profile is operator error.
+func Start() func() {
+	var cpuFile *os.File
+	if *cpuOut != "" {
+		f, err := os.Create(*cpuOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fatal(err)
+			}
+		}
+		if *memOut != "" {
+			f, err := os.Create(*memOut)
+			if err != nil {
+				fatal(err)
+			}
+			// An up-to-date heap picture: the allocs profile includes
+			// all past allocations (the quantity the zero-alloc work
+			// targets), with live objects accurate as of this GC.
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "prof:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,41 @@
+package prof
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Start with both flags set must produce non-empty pprof files.
+func TestStartWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	*cpuOut, *memOut = cpu, mem
+	defer func() { *cpuOut, *memOut = "", "" }()
+
+	stop := Start()
+	// Some work so the profiles have something to say.
+	s := 0
+	for i := 0; i < 1<<20; i++ {
+		s += i
+	}
+	_ = s
+	stop()
+
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
+	}
+}
+
+// With neither flag set, Start and its stop function are no-ops.
+func TestStartNoFlagsIsNoop(t *testing.T) {
+	*cpuOut, *memOut = "", ""
+	Start()()
+}

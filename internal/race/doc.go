@@ -1,0 +1,5 @@
+// Package race exposes whether the build carries the race detector.
+// Zero-alloc assertions (testing.AllocsPerRun) skip under -race — the
+// instrumentation itself allocates — while the CI perf ratchet
+// (cmd/lancet-perfgate, no race) keeps the exact floors enforced.
+package race

@@ -12,7 +12,8 @@ package sim
 import (
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
+	"sync"
 
 	"lancet/internal/cost"
 	"lancet/internal/hw"
@@ -107,18 +108,40 @@ type Executor struct {
 	A2ADurOverrideUs map[int]float64
 }
 
+// runScratch is the reusable working set of one simulated iteration: the
+// per-instruction end-time array and the interval buffers of the breakdown
+// computation. Pooled so concurrent sessions (parallel /v1/plan requests,
+// cmd/lancet -parallel) replay without contending on fresh allocations
+// (DESIGN.md §13). The Spans slice is NOT pooled — it is returned to the
+// caller inside the Timeline.
+type runScratch struct {
+	end                    []float64
+	comm, comp, a2a        []interval
+	mergedComm, mergedComp []interval
+	mergedA2A              []interval
+}
+
+var runPool = sync.Pool{New: func() any { return new(runScratch) }}
+
 // Run executes the schedule and returns its timeline.
 func (e *Executor) Run(g *ir.Graph, order []int) (*Timeline, error) {
 	if err := g.ValidateSchedule(order); err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
+	sc := runPool.Get().(*runScratch)
+	defer runPool.Put(sc)
 	rng := rand.New(rand.NewSource(e.Seed))
 	sysScale := 1.0
 	if !e.Predict && e.SystematicPct > 0 {
 		sysRng := rand.New(rand.NewSource(e.Seed ^ 0x5eed))
 		sysScale = 1 + (sysRng.Float64()*2-1)*e.SystematicPct
 	}
-	end := make([]float64, len(g.Instrs))
+	// end[id] needs no clearing between runs: a validated schedule writes
+	// every predecessor's entry before any consumer reads it.
+	if cap(sc.end) < len(g.Instrs) {
+		sc.end = make([]float64, len(g.Instrs))
+	}
+	end := sc.end[:len(g.Instrs)]
 	var clock [2]float64 // per-stream frontier
 	tl := &Timeline{Spans: make([]Span, 0, len(order))}
 
@@ -169,7 +192,7 @@ func (e *Executor) Run(g *ir.Graph, order []int) (*Timeline, error) {
 			tl.TotalUs = span.EndUs
 		}
 	}
-	tl.Breakdown = computeBreakdown(g, tl.Spans)
+	tl.Breakdown = computeBreakdown(g, tl.Spans, sc)
 	tl.IrregularA2AUs = irregularUs
 	tl.A2ATierUs = tierUs
 	tl.StragglerClassUs = stragglerUs
@@ -212,9 +235,9 @@ func (e *Executor) duration(in *ir.Instr, rng *rand.Rand) (float64, bool) {
 	return dur, irregular
 }
 
-func computeBreakdown(g *ir.Graph, spans []Span) Breakdown {
+func computeBreakdown(g *ir.Graph, spans []Span, sc *runScratch) Breakdown {
 	var b Breakdown
-	var comm, comp, a2a []interval
+	comm, comp, a2a := sc.comm[:0], sc.comp[:0], sc.a2a[:0]
 	for _, s := range spans {
 		in := g.Instr(s.Instr)
 		dur := s.EndUs - s.StartUs
@@ -235,9 +258,12 @@ func computeBreakdown(g *ir.Graph, spans []Span) Breakdown {
 			b.OtherUs += dur
 		}
 	}
-	mergedComp := merge(comp)
-	b.OverlapUs = intersectionMeasure(merge(comm), mergedComp)
-	b.NonOverlappedA2AUs = b.AllToAllUs - intersectionMeasure(merge(a2a), mergedComp)
+	sc.comm, sc.comp, sc.a2a = comm, comp, a2a
+	sc.mergedComp = merge(sc.mergedComp, comp)
+	sc.mergedComm = merge(sc.mergedComm, comm)
+	sc.mergedA2A = merge(sc.mergedA2A, a2a)
+	b.OverlapUs = intersectionMeasure(sc.mergedComm, sc.mergedComp)
+	b.NonOverlappedA2AUs = b.AllToAllUs - intersectionMeasure(sc.mergedA2A, sc.mergedComp)
 	b.NonOverlappedCommUs = b.CommBusyUs - b.OverlapUs
 	b.NonOverlappedComputeUs = b.ComputeBusyUs - b.OverlapUs
 	return b
@@ -245,12 +271,24 @@ func computeBreakdown(g *ir.Graph, spans []Span) Breakdown {
 
 type interval struct{ lo, hi float64 }
 
-func merge(xs []interval) []interval {
+// merge coalesces overlapping intervals into dst (reused backing storage).
+// Sorting is by lower bound; ties between equal lower bounds coalesce to
+// the same result regardless of their relative order, so the unstable sort
+// is deterministic in effect.
+func merge(dst, xs []interval) []interval {
 	if len(xs) == 0 {
-		return nil
+		return dst[:0]
 	}
-	sort.Slice(xs, func(i, j int) bool { return xs[i].lo < xs[j].lo })
-	out := []interval{xs[0]}
+	slices.SortFunc(xs, func(a, b interval) int {
+		switch {
+		case a.lo < b.lo:
+			return -1
+		case a.lo > b.lo:
+			return 1
+		}
+		return 0
+	})
+	out := append(dst[:0], xs[0])
 	for _, x := range xs[1:] {
 		last := &out[len(out)-1]
 		if x.lo <= last.hi {

@@ -376,6 +376,24 @@ type Plan struct {
 	costs    *cost.Model
 	spec     baselines.Spec
 	overlaps bool // uses Lancet's irregular all-to-all implementation
+
+	// Irregular-override maps are derived once per plan (the graph is
+	// immutable after planning) and shared by every subsequent PredictUs /
+	// Simulate call, so concurrent simulations of one plan don't re-walk
+	// the routing profiles (DESIGN.md §13).
+	ovOnce  sync.Once
+	ovBytes map[int]int64
+	ovDur   map[int]float64
+	ovErr   error
+}
+
+// overrides resolves the plan's irregular all-to-all overrides, computing
+// them on first use.
+func (p *Plan) overrides() (map[int]int64, map[int]float64, error) {
+	p.ovOnce.Do(func() {
+		p.ovBytes, p.ovDur, p.ovErr = p.sess.irregularOverrides(p.Graph)
+	})
+	return p.ovBytes, p.ovDur, p.ovErr
 }
 
 // CostStats is a snapshot of a cost model's memoization counters,
@@ -641,7 +659,7 @@ func (s *Session) Baseline(framework string) (*Plan, error) {
 func (p *Plan) PredictUs() (float64, error) {
 	ex := &sim.Executor{Cost: p.costs, Predict: true}
 	if p.overlaps {
-		bytesOv, _, err := p.sess.irregularOverrides(p.Graph)
+		bytesOv, _, err := p.overrides()
 		if err != nil {
 			return 0, err
 		}
@@ -696,7 +714,7 @@ type Report struct {
 func (p *Plan) Simulate(seed int64) (*Report, error) {
 	ex := &sim.Executor{Cost: p.costs, JitterPct: 0.02, SystematicPct: 0.04, Seed: seed}
 	if p.overlaps {
-		bytesOv, durOv, err := p.sess.irregularOverrides(p.Graph)
+		bytesOv, durOv, err := p.overrides()
 		if err != nil {
 			return nil, err
 		}
@@ -812,11 +830,12 @@ func (s *Session) irregularOverrides(g *ir.Graph) (bytesOv map[int]int64, durOv 
 				t = padded
 			}
 			if !sizeExchangeDone {
-				se, err := netsim.New(s.Cluster).AllToAllUs(netsim.UniformMatrix(p.devices, int64(p.devices)*4))
-				if err != nil {
-					return nil, nil, err
-				}
-				sizeExchange, sizeExchangeDone = se, true
+				// The size-exchange phase replays a uniform 4-byte-per-pair
+				// matrix; the cost model memoizes the replay on its persistent
+				// network simulator (p.devices == TotalGPUs holds here, per
+				// the guard above).
+				sizeExchange = s.costRAF.UniformReplayUs(int64(p.devices) * 4)
+				sizeExchangeDone = true
 			}
 			durOv[in.ID] = t + sizeExchange
 		}
@@ -832,6 +851,23 @@ func sumf(xs []float64) float64 {
 	return t
 }
 
+// proxyKey identifies one routing-proxy computation. The proxy is a pure
+// function of these fields (layer and input seeds, proxy token count and
+// hidden width are fixed constants), so its result can be shared across
+// sessions process-wide.
+type proxyKey struct {
+	devices, expertsPerGPU, k int
+	gate                      model.GateKind
+	capacityFactor, skew, hot float64
+}
+
+// proxyCache memoizes routing proxies across sessions (DESIGN.md §13): a
+// cold plan for a (cluster, gate, workload) shape the process has already
+// planned — the common case for pooled serving and the experiment suite —
+// skips the functional gate run entirely. Keys are config shapes, so the
+// map stays small for any realistic process lifetime.
+var proxyCache sync.Map // proxyKey -> *routingProfile
+
 // profile runs the functional gate on a scaled-down token batch (the
 // routing distribution depends on token and expert counts, not hidden
 // width) split into k micro-batches, and caches the dispatch statistics.
@@ -844,6 +880,17 @@ func (s *Session) profile(k int) (*routingProfile, error) {
 	devices := s.Cluster.TotalGPUs()
 	if devices > 16 && !s.skewedWorkload() {
 		devices = 16 // balanced routing fractions saturate; keep the proxy cheap
+	}
+	key := proxyKey{
+		devices: devices, expertsPerGPU: s.Config.ExpertsPerGPU, k: k,
+		gate:           s.Config.Gate,
+		capacityFactor: s.Config.CapacityFactor,
+		skew:           s.WorkloadSkew, hot: s.WorkloadHotExpert,
+	}
+	if c, ok := proxyCache.Load(key); ok {
+		p := c.(*routingProfile) // shared and never mutated after publication
+		s.profiles[k] = p
+		return p, nil
 	}
 	tokens := 256
 	experts := devices * s.Config.ExpertsPerGPU
@@ -890,6 +937,7 @@ func (s *Session) profile(k int) (*routingProfile, error) {
 		}
 		p.shares = append(p.shares, sum/float64(len(row))/padded)
 	}
+	proxyCache.Store(key, p)
 	s.profiles[k] = p
 	return p, nil
 }
