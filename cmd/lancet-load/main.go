@@ -1,0 +1,231 @@
+// Command lancet-load measures the serving layer under synthetic plan
+// traffic — the "serves heavy traffic" claim, pinned by numbers instead of
+// prose (DESIGN.md §14). It drives N plan requests with a Zipf-distributed
+// key popularity (a few configurations are hot, a long tail is cold —
+// the shape fleet traffic actually has) against an in-process service
+// handler, and reports latency percentiles plus the per-tier cache hit
+// breakdown as JSON.
+//
+// The request key space maps key i to a distinct simulation seed of one
+// shared configuration, so every key lands on its own plan-store entry
+// while the session pool stays hot — isolating what the harness measures:
+// the plan store's two tiers, not session construction.
+//
+// Usage:
+//
+//	lancet-load -requests 1000000 -keys 512 -zipf 1.1 -store-dir /tmp/plans
+//
+// With -min-hit-rate the run doubles as a gate: it exits nonzero when the
+// combined (memory + disk) hit rate falls below the bound, which is how CI
+// pins the ">50% on a Zipf mix" acceptance claim.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"lancet/internal/service"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lancet-load: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		log.Fatal(err)
+	}
+}
+
+// Report is the harness's JSON output: the load shape, wall-clock latency
+// percentiles, and the service's own per-tier counters after the run.
+type Report struct {
+	Requests   int     `json:"requests"`
+	Keys       int     `json:"keys"`
+	Zipf       float64 `json:"zipf"`
+	Parallel   int     `json:"parallel"`
+	Errors     int64   `json:"errors"`
+	DurationMs float64 `json:"duration_ms"`
+	QPS        float64 `json:"qps"`
+	P50Ms      float64 `json:"p50_ms"`
+	P90Ms      float64 `json:"p90_ms"`
+	P99Ms      float64 `json:"p99_ms"`
+	MaxMs      float64 `json:"max_ms"`
+
+	Stats service.StatsResponse `json:"stats"`
+}
+
+// run is the testable body of the command. The JSON report goes to stdout.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("lancet-load", flag.ContinueOnError)
+	var (
+		requests   = fs.Int("requests", 1_000_000, "total plan requests to drive")
+		keys       = fs.Int("keys", 512, "distinct plan configurations in the key space")
+		zipfS      = fs.Float64("zipf", 1.1, "Zipf exponent of the key popularity distribution (> 1)")
+		seed       = fs.Int64("seed", 1, "base seed for the request mix")
+		parallel   = fs.Int("parallel", runtime.NumCPU(), "concurrent client workers")
+		cacheSize  = fs.Int("cache-size", 256, "hot-tier plan-store capacity (entries)")
+		storeDir   = fs.String("store-dir", "", "durable plan-store directory (empty = memory only)")
+		minHitRate = fs.Float64("min-hit-rate", 0, "fail unless the combined cache hit rate reaches this")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *requests <= 0 || *keys <= 0 {
+		return fmt.Errorf("requests and keys must be positive, got %d and %d", *requests, *keys)
+	}
+	if *zipfS <= 1 {
+		return fmt.Errorf("zipf exponent must be > 1, got %g", *zipfS)
+	}
+	if *parallel <= 0 {
+		*parallel = 1
+	}
+
+	cfg := service.Config{CacheSize: *cacheSize, Parallel: *parallel}
+	var svc *service.Service
+	if *storeDir != "" {
+		var err error
+		if svc, err = service.Open(cfg, *storeDir); err != nil {
+			return err
+		}
+	} else {
+		svc = service.New(cfg)
+	}
+	handler := svc.Handler()
+
+	// Key i is the cheapest distinct plan-store entry: the RAF baseline
+	// (no partition DP) with no comparison plan, simulated under seed i.
+	bodies := make([]string, *keys)
+	for i := range bodies {
+		bodies[i] = fmt.Sprintf(`{"framework": "raf", "baseline": "none", "seed": %d}`, i)
+	}
+
+	latencies := make([][]float64, *parallel)
+	var errCount int64
+	var errMu sync.Mutex
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *parallel; w++ {
+		share := *requests / *parallel
+		if w < *requests%*parallel {
+			share++
+		}
+		wg.Add(1)
+		go func(w, share int) {
+			defer wg.Done()
+			// Per-worker generators keep the mix deterministic in (seed,
+			// parallel) without cross-worker contention.
+			rng := rand.New(rand.NewSource(*seed + int64(w)))
+			zipf := rand.NewZipf(rng, *zipfS, 1, uint64(*keys-1))
+			lat := make([]float64, 0, share)
+			errs := int64(0)
+			for i := 0; i < share; i++ {
+				body := bodies[zipf.Uint64()]
+				req, err := http.NewRequest(http.MethodPost, "http://lancet-load/v1/plan", strings.NewReader(body))
+				if err != nil {
+					errs++
+					continue
+				}
+				rec := &nullResponseWriter{}
+				t0 := time.Now()
+				handler.ServeHTTP(rec, req)
+				lat = append(lat, float64(time.Since(t0).Nanoseconds())/1e6)
+				if rec.code != http.StatusOK {
+					errs++
+				}
+			}
+			latencies[w] = lat
+			errMu.Lock()
+			errCount += errs
+			errMu.Unlock()
+		}(w, share)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	all := make([]float64, 0, *requests)
+	for _, l := range latencies {
+		all = append(all, l...)
+	}
+	sort.Float64s(all)
+	rep := Report{
+		Requests:   *requests,
+		Keys:       *keys,
+		Zipf:       *zipfS,
+		Parallel:   *parallel,
+		Errors:     errCount,
+		DurationMs: float64(elapsed.Nanoseconds()) / 1e6,
+		P50Ms:      percentile(all, 0.50),
+		P90Ms:      percentile(all, 0.90),
+		P99Ms:      percentile(all, 0.99),
+		Stats:      svc.Stats(),
+	}
+	if len(all) > 0 {
+		rep.MaxMs = all[len(all)-1]
+	}
+	if elapsed > 0 {
+		rep.QPS = float64(len(all)) / elapsed.Seconds()
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	if errCount > 0 {
+		return fmt.Errorf("%d of %d requests failed", errCount, *requests)
+	}
+	if hr := rep.Stats.PlanTiers.CombinedHitRate; hr < *minHitRate {
+		return fmt.Errorf("combined cache hit rate %.3f below required %.3f", hr, *minHitRate)
+	}
+	return nil
+}
+
+// percentile reads the p-quantile (0..1) off a sorted sample via the
+// nearest-rank method.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// nullResponseWriter records the status code and discards the body — the
+// harness reads outcomes from the service's own counters, so buffering a
+// million response bodies would only measure the buffer.
+type nullResponseWriter struct {
+	hdr  http.Header
+	code int
+}
+
+func (w *nullResponseWriter) Header() http.Header {
+	if w.hdr == nil {
+		w.hdr = make(http.Header)
+	}
+	return w.hdr
+}
+
+func (w *nullResponseWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return len(b), nil
+}
+
+func (w *nullResponseWriter) WriteHeader(code int) { w.code = code }

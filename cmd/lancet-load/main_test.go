@@ -1,0 +1,118 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// loadReport runs the harness with args and decodes its JSON report.
+func loadReport(t *testing.T, args ...string) (Report, error) {
+	t.Helper()
+	var buf bytes.Buffer
+	err := run(args, &buf)
+	var rep Report
+	if buf.Len() > 0 {
+		if derr := json.Unmarshal(buf.Bytes(), &rep); derr != nil {
+			t.Fatalf("report is not JSON: %v\n%s", derr, buf.Bytes())
+		}
+	}
+	return rep, err
+}
+
+func TestLoadSmoke(t *testing.T) {
+	rep, err := loadReport(t,
+		"-requests", "300", "-keys", "16", "-parallel", "2", "-seed", "7",
+		"-cache-size", "8", "-store-dir", t.TempDir(), "-min-hit-rate", "0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 300 || rep.Keys != 16 || rep.Errors != 0 {
+		t.Errorf("report shape wrong: %+v", rep)
+	}
+	if rep.QPS <= 0 || rep.DurationMs <= 0 {
+		t.Errorf("throughput not measured: qps %g over %g ms", rep.QPS, rep.DurationMs)
+	}
+	if rep.P50Ms <= 0 || rep.P50Ms > rep.P90Ms || rep.P90Ms > rep.P99Ms || rep.P99Ms > rep.MaxMs {
+		t.Errorf("percentiles not ordered: p50 %g, p90 %g, p99 %g, max %g",
+			rep.P50Ms, rep.P90Ms, rep.P99Ms, rep.MaxMs)
+	}
+	tiers := rep.Stats.PlanTiers
+	if tiers.MemoryHits == 0 {
+		t.Error("a Zipf mix over 16 keys must land memory-tier hits")
+	}
+	if tiers.DiskHits == 0 {
+		t.Error("an 8-entry LRU over 16 keys must spill to the disk tier")
+	}
+	if tiers.CombinedHitRate <= 0.5 {
+		t.Errorf("combined hit rate %g, want > 0.5", tiers.CombinedHitRate)
+	}
+	if rep.Stats.DiskStore == nil || rep.Stats.DiskStore.Writes == 0 {
+		t.Errorf("store dir set but no disk writes recorded: %+v", rep.Stats.DiskStore)
+	}
+	// Hits + misses + deduplicated shares cover every request.
+	total := tiers.MemoryHits + tiers.DiskHits + tiers.Misses + rep.Stats.Deduplicated
+	if total != 300 {
+		t.Errorf("tier outcomes sum to %d, want 300", total)
+	}
+}
+
+func TestLoadDeterministicMix(t *testing.T) {
+	// One worker makes the whole run deterministic in the seed: two runs on
+	// fresh stores must produce identical tier breakdowns.
+	args := func(dir string) []string {
+		return []string{"-requests", "120", "-keys", "12", "-parallel", "1",
+			"-seed", "42", "-cache-size", "4", "-store-dir", dir}
+	}
+	a, err := loadReport(t, args(t.TempDir())...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := loadReport(t, args(t.TempDir())...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats.PlanTiers != b.Stats.PlanTiers {
+		t.Errorf("same seed, different mixes:\n%+v\n%+v", a.Stats.PlanTiers, b.Stats.PlanTiers)
+	}
+	if a.Stats.Computations != b.Stats.Computations {
+		t.Errorf("same seed, different computations: %d vs %d", a.Stats.Computations, b.Stats.Computations)
+	}
+}
+
+func TestLoadMemoryOnlyMode(t *testing.T) {
+	rep, err := loadReport(t, "-requests", "60", "-keys", "6", "-parallel", "2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stats.DiskStore != nil {
+		t.Errorf("no store dir but disk stats present: %+v", rep.Stats.DiskStore)
+	}
+	if rep.Stats.PlanTiers.MemoryHits == 0 {
+		t.Error("memory-only run landed no hits")
+	}
+}
+
+func TestLoadMinHitRateGate(t *testing.T) {
+	// 20 requests over 1000 keys: the first lookup of every key is a miss,
+	// so a 0.99 bound must trip regardless of the Zipf draw.
+	_, err := loadReport(t, "-requests", "20", "-keys", "1000", "-parallel", "1", "-min-hit-rate", "0.99")
+	if err == nil || !strings.Contains(err.Error(), "hit rate") {
+		t.Errorf("hit-rate gate did not trip: %v", err)
+	}
+}
+
+func TestLoadRejectsBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-requests", "0"},
+		{"-keys", "-1"},
+		{"-zipf", "1"},
+		{"-zipf", "0.5"},
+	}
+	for _, args := range cases {
+		if _, err := loadReport(t, args...); err == nil {
+			t.Errorf("args %v accepted, want error", args)
+		}
+	}
+}

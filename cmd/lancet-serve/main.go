@@ -3,16 +3,24 @@
 // singleflight deduplication, so repeated and concurrent identical requests
 // are served without re-running the optimization passes (DESIGN.md §9).
 //
+// With -store-dir the plan store becomes durable (DESIGN.md §14): every
+// computed plan is written through to a checksummed on-disk artifact, and
+// a restart restores the store — plans computed before the restart are
+// served byte-identically with X-Lancet-Cache: disk.
+//
 // Usage:
 //
-//	lancet-serve -addr :8080 -cache-size 256 -parallel 8
+//	lancet-serve -addr :8080 -cache-size 256 -parallel 8 -store-dir /var/lib/lancet/plans
 //
 // Endpoints:
 //
 //	POST /v1/plan         plan one configuration, compare against a baseline
 //	POST /v1/sweep        fan a configuration grid out over the worker pool
+//	                      ("stream": true selects NDJSON streaming,
+//	                      "warm_start": true chains neighbor DP hints)
 //	GET  /v1/experiments  the registered experiment suite
-//	GET  /v1/stats        plan-store, session-pool and cost-model counters
+//	GET  /v1/stats        per-tier plan-store, session-pool and cost-model
+//	                      counters
 //	GET  /healthz         liveness probe
 package main
 
@@ -36,12 +44,26 @@ func main() {
 	log.SetPrefix("lancet-serve: ")
 	var (
 		addr      = flag.String("addr", ":8080", "listen address")
-		cacheSize = flag.Int("cache-size", 256, "plan-store capacity (entries)")
+		cacheSize = flag.Int("cache-size", 256, "hot-tier plan-store capacity (entries)")
 		parallel  = flag.Int("parallel", runtime.NumCPU(), "sweep worker-pool size")
+		storeDir  = flag.String("store-dir", "", "durable plan-store directory (empty = memory only)")
 	)
 	flag.Parse()
 
-	svc := service.New(service.Config{CacheSize: *cacheSize, Parallel: *parallel})
+	cfg := service.Config{CacheSize: *cacheSize, Parallel: *parallel}
+	var svc *service.Service
+	if *storeDir != "" {
+		var err error
+		if svc, err = service.Open(cfg, *storeDir); err != nil {
+			log.Fatal(err)
+		}
+		if ds := svc.Stats().DiskStore; ds != nil {
+			log.Printf("plan store %s: %d artifacts restored, %d corrupt skipped",
+				*storeDir, ds.Artifacts, ds.Corrupt)
+		}
+	} else {
+		svc = service.New(cfg)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           svc.Handler(),

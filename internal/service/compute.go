@@ -28,6 +28,19 @@ type Result struct {
 	OverlapMs           float64 `json:"overlap_ms,omitempty"`
 	AllToAllMs          float64 `json:"a2a_ms,omitempty"`
 	Notes               string  `json:"notes,omitempty"`
+	// Pipelines records a Lancet plan's chosen partition pipelines — the
+	// neighbor warm-start hint sweep chaining seeds the adjacent grid
+	// point's DP from (DESIGN.md §14). Deterministic in the inputs like
+	// every other field, and serialized into disk artifacts, so chaining
+	// works across cache hits and process restarts alike.
+	Pipelines []lancet.PipelineHint `json:"pipelines,omitempty"`
+
+	// evaluations counts the plan's partition-DP evaluations. Unexported
+	// and deliberately absent from the JSON encoding: a warm-started
+	// computation spends fewer evaluations than a cold one, and responses
+	// must stay byte-identical either way. The service folds it into the
+	// /v1/stats dp_evaluations counter at compute time instead.
+	evaluations int
 }
 
 // Compute plans framework fw on the session and simulates one iteration
@@ -47,6 +60,10 @@ func Compute(sess *lancet.Session, fw string, seed int64, opts lancet.Options) (
 		return res, err
 	}
 	res.Name = plan.Name
+	if fw == lancet.FrameworkLancet {
+		res.Pipelines = plan.Pipelines
+		res.evaluations = plan.DPEvaluations
+	}
 	if plan.OOM {
 		res.OOM = true
 		return res, nil

@@ -13,9 +13,15 @@ import (
 	"lancet/internal/pool"
 )
 
-// maxSweepPoints bounds one /v1/sweep's cross product; larger grids are a
-// client error, not a way to monopolize the worker pool.
+// maxSweepPoints bounds one buffered /v1/sweep's cross product; larger
+// grids are a client error pointing at the streaming mode, not a way to
+// monopolize the worker pool.
 const maxSweepPoints = 1024
+
+// maxStreamSweepPoints bounds a streaming /v1/sweep. Streaming lifts the
+// buffered cap — results flush as they complete instead of accumulating —
+// so this is only a backstop against grids too large to even enumerate.
+const maxStreamSweepPoints = 1 << 20
 
 // maxBodyBytes bounds POST request bodies; planning requests are small and
 // a sweep near the grid cap still fits comfortably.
@@ -31,15 +37,21 @@ type Config struct {
 	Parallel int
 }
 
-// Service is the long-lived planning front end: a bounded LRU plan store
-// keyed on the canonicalized request, singleflight deduplication of
-// concurrent identical requests, and a pool of reusable sessions. All
-// methods are safe for concurrent use.
+// Service is the long-lived planning front end: a two-tier plan store —
+// a hot in-memory LRU keyed on the canonicalized request, optionally
+// backed by a durable disk artifact store (DESIGN.md §14) — singleflight
+// deduplication of concurrent identical requests, and a pool of reusable
+// sessions. All methods are safe for concurrent use.
 type Service struct {
 	cfg Config
 
 	plans      *lruStore[*Result]
 	planFlight flightGroup[*Result]
+
+	// disk is the durable tier behind plans; nil when the service runs
+	// memory-only (New). Entries evicted from the memory LRU stay served
+	// from here, and restarts restore from it (Open).
+	disk *diskStore
 
 	sessions   *lruStore[*lancet.Session]
 	sessFlight flightGroup[*lancet.Session]
@@ -47,6 +59,18 @@ type Service struct {
 	// computations counts actual plan-and-simulate runs — the quantity the
 	// burst test pins to 1 for N identical concurrent requests.
 	computations atomic.Int64
+
+	// dpEvals accumulates the partition-DP evaluation counts of every
+	// computation — the optimization effort warm-started sweeps measurably
+	// reduce. Kept out of Result so cached and fresh responses stay
+	// byte-identical.
+	dpEvals atomic.Int64
+
+	// planMisses counts lookups no plan-store tier answered (fresh
+	// computations and failed ones). A dedicated monotonic counter — not
+	// memory-misses minus disk-hits, whose two racing reads could make a
+	// derived value dip between scrapes.
+	planMisses atomic.Int64
 
 	// retiredCost accumulates evicted sessions' cost-model counters so
 	// /v1/stats stays monotonic when the session pool churns.
@@ -85,6 +109,21 @@ func New(cfg Config) *Service {
 	}
 	s.sweepSem = make(chan struct{}, cfg.Parallel)
 	return s
+}
+
+// Open builds a Service whose plan store is backed by the durable disk
+// artifact store in dir (DESIGN.md §14): artifacts already there are
+// verified and restored (served with X-Lancet-Cache: disk), every fresh
+// computation is written through atomically, and corrupt or torn artifacts
+// are counted and recomputed — never served, never fatal.
+func Open(cfg Config, dir string) (*Service, error) {
+	disk, err := openDiskStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	s := New(cfg)
+	s.disk = disk
+	return s, nil
 }
 
 // session returns the pooled session for the request's configuration,
@@ -131,12 +170,16 @@ func (s *Service) session(c *canonical) (*lancet.Session, error) {
 	return sess, err
 }
 
-// resultFor serves one framework's result through the plan store: LRU hit,
-// singleflight share, or a fresh computation. The returned cache state is
-// "hit", "shared" or "miss". Panics while planning are contained and
-// returned as errors, so a bad grid point cannot take down sweep workers
-// (plain goroutines with no net/http recovery) or the whole server.
-func (s *Service) resultFor(c *canonical, fw string) (r *Result, state string, err error) {
+// resultFor serves one framework's result through the two-tier plan store:
+// memory LRU hit, disk-artifact hit (promoted into the LRU), singleflight
+// share, or a fresh computation written through to both tiers. The
+// returned cache state is "hit", "disk", "shared" or "miss". hint, when
+// non-nil, warm-starts the partition DP (DESIGN.md §14); it is absent from
+// the plan key because it never changes the computed result. Panics while
+// planning are contained and returned as errors, so a bad grid point
+// cannot take down sweep workers (plain goroutines with no net/http
+// recovery) or the whole server.
+func (s *Service) resultFor(c *canonical, fw string, hint []lancet.PipelineHint) (r *Result, state string, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			r, state, err = nil, "error", fmt.Errorf("panic while planning %s: %v", fw, p)
@@ -146,7 +189,7 @@ func (s *Service) resultFor(c *canonical, fw string) (r *Result, state string, e
 	if r, ok := s.plans.get(key); ok {
 		return r, "hit", nil
 	}
-	fromStore := false
+	fromStore, fromDisk := false, false
 	r, err, shared := s.planFlight.do(key, func() (*Result, error) {
 		// Re-check under the flight: a previous leader may have stored the
 		// result between our miss and becoming leader, and flight entries
@@ -157,16 +200,39 @@ func (s *Service) resultFor(c *canonical, fw string) (r *Result, state string, e
 			fromStore = true
 			return r, nil
 		}
+		if s.disk != nil {
+			if payload, ok := s.disk.get(key); ok {
+				var res Result
+				if err := json.Unmarshal(payload, &res); err == nil {
+					fromDisk = true
+					s.plans.put(key, &res)
+					return &res, nil
+				}
+				// A framed, checksummed artifact whose payload still isn't
+				// a Result is corrupt in a way the codec can't see; count
+				// it and recompute rather than serve a wrong plan.
+				s.disk.corrupt.Add(1)
+			}
+		}
+		s.planMisses.Add(1)
 		sess, err := s.session(c)
 		if err != nil {
 			return nil, err
 		}
 		s.computations.Add(1)
-		res, err := Compute(sess, fw, c.seed, c.opts.toLancet())
+		opts := c.opts.toLancet()
+		opts.Hint = hint
+		res, err := Compute(sess, fw, c.seed, opts)
 		if err != nil {
 			return nil, err
 		}
+		s.dpEvals.Add(int64(res.evaluations))
 		s.plans.put(key, &res)
+		if s.disk != nil {
+			if payload, err := json.Marshal(&res); err == nil {
+				s.disk.put(key, payload)
+			}
+		}
 		return &res, nil
 	})
 	state = "miss"
@@ -175,6 +241,8 @@ func (s *Service) resultFor(c *canonical, fw string) (r *Result, state string, e
 		state = "shared"
 	case fromStore:
 		state = "hit"
+	case fromDisk:
+		state = "disk"
 	}
 	return r, state, err
 }
@@ -247,10 +315,10 @@ func (s *Service) handlePlan(w http.ResponseWriter, r *http.Request) {
 	if c.baseline != "" {
 		go func() {
 			defer close(baseDone)
-			base, _, baseErr = s.resultFor(c, c.baseline)
+			base, _, baseErr = s.resultFor(c, c.baseline, nil)
 		}()
 	}
-	res, state, err := s.resultFor(c, c.framework)
+	res, state, err := s.resultFor(c, c.framework, nil)
 	if c.baseline != "" {
 		<-baseDone
 	}
@@ -297,6 +365,18 @@ type SweepRequest struct {
 	SharedExpert bool          `json:"shared_expert,omitempty"`
 	ZeRO3        bool          `json:"zero3,omitempty"`
 	Options      PlanOptions   `json:"options,omitempty"`
+
+	// Stream selects the NDJSON streaming response: each grid point is
+	// written and flushed as a {"index": i, ...} line the moment it
+	// completes (completion order; index is the deterministic grid
+	// position), and the buffered-mode grid cap does not apply.
+	Stream bool `json:"stream,omitempty"`
+	// WarmStart chains the grid points that share a model and fleet into
+	// sequential runs where each point seeds the partition DP from its
+	// neighbor's chosen plan (DESIGN.md §14). Chains run in parallel with
+	// each other; results are byte-identical to a cold sweep, only the DP
+	// evaluation count (and therefore cold-point latency) drops.
+	WarmStart bool `json:"warm_start,omitempty"`
 }
 
 // SweepItem is one grid point's outcome. Err carries per-point failures
@@ -350,12 +430,20 @@ func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	// Reject oversized grids before materializing a single point.
+	// Reject oversized grids before materializing a single point. The
+	// buffered cap exists because the whole response accumulates in
+	// memory; streaming flushes per point, so it only keeps a backstop.
 	points := int64(len(models)) * int64(len(clusters)) * int64(len(gpuCounts)) *
 		int64(len(gates)) * int64(len(frameworks))
-	if points > maxSweepPoints {
+	if !req.Stream && points > maxSweepPoints {
 		writeError(w, http.StatusBadRequest,
-			fmt.Errorf("sweep grid has %d points, limit %d", points, maxSweepPoints))
+			fmt.Errorf(`sweep grid has %d points, limit %d for buffered responses; set "stream": true for an NDJSON stream without the cap`,
+				points, maxSweepPoints))
+		return
+	}
+	if points > maxStreamSweepPoints {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("sweep grid has %d points, streaming limit %d", points, maxStreamSweepPoints))
 		return
 	}
 
@@ -381,45 +469,117 @@ func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	// Fan the grid out over the shared worker-pool fan-out (the suite
+	// Warm-start chains group the grid points that share the two outer
+	// dimensions (model and fleet) into one sequential run each, so every
+	// point's partition DP is seeded by its neighbor's chosen plan; the
+	// inner dimensions (GPU count, gate, framework) are where adjacent
+	// configurations plan similarly enough for hints to win. Without
+	// warm-start every point is its own chain — the old fully parallel
+	// fan-out.
+	chainLen := 1
+	if req.WarmStart {
+		chainLen = len(gpuCounts) * len(gates) * len(frameworks)
+	}
+
+	if req.Stream {
+		s.streamSweep(w, r, grid, chainLen)
+		return
+	}
+
+	// Fan the chains out over the shared worker-pool fan-out (the suite
 	// engine's pattern, including its cancellation: a disconnected client
 	// stops the dispatch instead of grinding through dead work); results
-	// land at their grid index so output order is stable. The semaphore
-	// makes cfg.Parallel a server-wide bound across concurrent sweeps,
-	// not a per-request one.
+	// land at their grid index so output order is stable.
 	ctx := r.Context()
 	items := make([]SweepItem, len(grid))
-	undispatched := pool.ForEachIndexed(ctx, len(grid), s.cfg.Parallel, func(i int) {
-		// Give up the wait for a semaphore slot when the client is gone —
-		// an already-dispatched point must not run dead work either.
-		select {
-		case s.sweepSem <- struct{}{}:
-		case <-ctx.Done():
-			items[i] = SweepItem{Request: grid[i], Err: context.Cause(ctx).Error()}
-			return
-		}
-		defer func() { <-s.sweepSem }()
-		items[i] = s.sweepOne(grid[i])
-	})
-	for i := undispatched; i < len(grid); i++ {
+	undispatched := s.runSweep(ctx, grid, chainLen, func(i int, it SweepItem) { items[i] = it })
+	for i := undispatched * chainLen; i < len(grid); i++ {
 		items[i] = SweepItem{Request: grid[i], Err: context.Cause(ctx).Error()}
 	}
 
 	writeJSON(w, http.StatusOK, SweepResponse{Count: len(items), Results: items})
 }
 
+// runSweep dispatches the grid as chains of chainLen consecutive points
+// over the worker pool, threading the warm-start hint through each chain,
+// and emits every completed item. The server-wide semaphore makes
+// cfg.Parallel a bound across concurrent sweeps, not a per-request one.
+// It returns the index of the first chain that was never dispatched
+// (cancellation); items of dispatched chains are always emitted, including
+// the per-point cancellation errors of a chain cut short mid-run.
+func (s *Service) runSweep(ctx context.Context, grid []PlanRequest, chainLen int, emit func(int, SweepItem)) (undispatched int) {
+	chains := (len(grid) + chainLen - 1) / chainLen
+	return pool.ForEachIndexed(ctx, chains, s.cfg.Parallel, func(ci int) {
+		var hint []lancet.PipelineHint
+		for idx := ci * chainLen; idx < (ci+1)*chainLen && idx < len(grid); idx++ {
+			// Give up the wait for a semaphore slot when the client is
+			// gone — an already-dispatched point must not run dead work.
+			select {
+			case s.sweepSem <- struct{}{}:
+			case <-ctx.Done():
+				emit(idx, SweepItem{Request: grid[idx], Err: context.Cause(ctx).Error()})
+				continue
+			}
+			it, nextHint := s.sweepOne(grid[idx], hint)
+			<-s.sweepSem
+			if nextHint != nil {
+				hint = nextHint
+			}
+			emit(idx, it)
+		}
+	})
+}
+
+// streamSweep is /v1/sweep's NDJSON mode: every completed grid point is
+// written and flushed immediately as one line carrying its deterministic
+// grid index, so arbitrarily large sweeps never accumulate a response in
+// memory and clients see results as they land.
+func (s *Service) streamSweep(w http.ResponseWriter, r *http.Request, grid []PlanRequest, chainLen int) {
+	w.Header().Set("Content-Type", "application/x-ndjson; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+
+	type streamItem struct {
+		Index int `json:"index"`
+		SweepItem
+	}
+	ctx := r.Context()
+	ch := make(chan streamItem, s.cfg.Parallel)
+	go func() {
+		defer close(ch)
+		undispatched := s.runSweep(ctx, grid, chainLen, func(i int, it SweepItem) {
+			ch <- streamItem{Index: i, SweepItem: it}
+		})
+		for i := undispatched * chainLen; i < len(grid); i++ {
+			ch <- streamItem{Index: i, SweepItem: SweepItem{Request: grid[i], Err: context.Cause(ctx).Error()}}
+		}
+	}()
+	for it := range ch {
+		enc.Encode(it) //nolint:errcheck // client gone; dispatch stops via ctx
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
 // sweepOne resolves and serves a single grid point, folding its errors into
-// the item.
-func (s *Service) sweepOne(req PlanRequest) SweepItem {
+// the item. hint warm-starts the point's partition DP; the returned hint is
+// the point's own chosen pipelines when it produced a Lancet plan (nil
+// otherwise), which the caller threads to the chain's next point.
+func (s *Service) sweepOne(req PlanRequest, hint []lancet.PipelineHint) (SweepItem, []lancet.PipelineHint) {
 	c, err := req.canonicalize()
 	if err != nil {
-		return SweepItem{Request: req, Err: err.Error()}
+		return SweepItem{Request: req, Err: err.Error()}, nil
 	}
-	res, _, err := s.resultFor(c, c.framework)
+	res, _, err := s.resultFor(c, c.framework, hint)
 	if err != nil {
-		return SweepItem{Request: c.echo(), Err: err.Error()}
+		return SweepItem{Request: c.echo(), Err: err.Error()}, nil
 	}
-	return SweepItem{Request: c.echo(), Result: res}
+	if c.framework == lancet.FrameworkLancet {
+		return SweepItem{Request: c.echo(), Result: res}, res.Pipelines
+	}
+	return SweepItem{Request: c.echo(), Result: res}, nil
 }
 
 // ExperimentInfo describes one registered experiment for GET
@@ -441,15 +601,40 @@ func (s *Service) handleExperiments(w http.ResponseWriter, _ *http.Request) {
 
 // StatsResponse is the body of GET /v1/stats.
 type StatsResponse struct {
-	PlanStore    StoreStats `json:"plan_store"`
-	SessionStore StoreStats `json:"session_store"`
+	// PlanStore is the memory tier of the plan store; DiskStore, present
+	// only when the service was Opened on a store directory, is the
+	// durable tier behind it (DESIGN.md §14). PlanTiers folds the two into
+	// the per-tier hit breakdown a load test reads.
+	PlanStore    StoreStats     `json:"plan_store"`
+	DiskStore    *DiskTierStats `json:"disk_store,omitempty"`
+	PlanTiers    TierBreakdown  `json:"plan_tiers"`
+	SessionStore StoreStats     `json:"session_store"`
 	// Computations is how many plan-and-simulate runs actually executed;
 	// Deduplicated is how many requests shared an in-flight one.
 	Computations int64 `json:"computations"`
 	Deduplicated int64 `json:"deduplicated"`
+	// DPEvaluations accumulates partition-DP candidate evaluations across
+	// every computation — the optimization effort neighbor warm-start
+	// reduces (DESIGN.md §14).
+	DPEvaluations int64 `json:"dp_evaluations"`
 	// CostModel aggregates lancet.CostStats over every pooled session
 	// plus the retired tally of evicted ones (monotonic across scrapes).
 	CostModel CostModelStats `json:"cost_model"`
+}
+
+// TierBreakdown distinguishes which tier served each plan-store lookup.
+// A memory miss that a disk artifact answers counts as a disk hit; only
+// lookups neither tier answered (fresh computations, shared flights and
+// errors) are misses. All fields are monotonic; an entry evicted from the
+// memory LRU keeps its recorded hits, mirroring the retired-counter
+// treatment session eviction gets, so nothing ever goes backwards.
+type TierBreakdown struct {
+	MemoryHits int64 `json:"memory_hits"`
+	DiskHits   int64 `json:"disk_hits"`
+	Misses     int64 `json:"misses"`
+	// CombinedHitRate is the fraction of lookups either tier answered —
+	// the number the lancet-load harness gates on.
+	CombinedHitRate float64 `json:"combined_hit_rate"`
 }
 
 // CostModelStats aggregates the sessions' cost-model memoization counters.
@@ -467,10 +652,22 @@ func (s *Service) handleStats(w http.ResponseWriter, _ *http.Request) {
 // Stats snapshots the service's counters.
 func (s *Service) Stats() StatsResponse {
 	resp := StatsResponse{
-		PlanStore:    s.plans.stats(),
-		SessionStore: s.sessions.stats(),
-		Computations: s.computations.Load(),
-		Deduplicated: s.planFlight.dedupedCount(),
+		PlanStore:     s.plans.stats(),
+		SessionStore:  s.sessions.stats(),
+		Computations:  s.computations.Load(),
+		Deduplicated:  s.planFlight.dedupedCount(),
+		DPEvaluations: s.dpEvals.Load(),
+	}
+	resp.PlanTiers.MemoryHits = resp.PlanStore.Hits
+	if s.disk != nil {
+		ds := s.disk.stats()
+		resp.DiskStore = &ds
+		resp.PlanTiers.DiskHits = ds.Hits
+	}
+	resp.PlanTiers.Misses = s.planMisses.Load()
+	if total := resp.PlanTiers.MemoryHits + resp.PlanStore.Misses; total > 0 {
+		resp.PlanTiers.CombinedHitRate =
+			float64(resp.PlanTiers.MemoryHits+resp.PlanTiers.DiskHits) / float64(total)
 	}
 	// Pooled sessions plus the retired tally, read in one cut under the
 	// store's lock (onEvict moves counters between the two under the same

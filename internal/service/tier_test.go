@@ -1,0 +1,179 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// tier_test.go is the two-tier plan store's concurrency property suite, run
+// under -race in CI: stats stay monotonic while both tiers churn, and
+// concurrent writers never produce a torn or mixed artifact.
+
+// snapshotCounters flattens the monotonic subset of a StatsResponse.
+func snapshotCounters(st StatsResponse) map[string]int64 {
+	m := map[string]int64{
+		"memory_hits":    st.PlanTiers.MemoryHits,
+		"disk_hits":      st.PlanTiers.DiskHits,
+		"tier_misses":    st.PlanTiers.Misses,
+		"computations":   st.Computations,
+		"dp_evaluations": st.DPEvaluations,
+		"store_hits":     st.PlanStore.Hits,
+		"store_misses":   st.PlanStore.Misses,
+	}
+	if ds := st.DiskStore; ds != nil {
+		m["d_hits"] = ds.Hits
+		m["d_misses"] = ds.Misses
+		m["d_corrupt"] = ds.Corrupt
+		m["d_writes"] = ds.Writes
+		m["d_write_errs"] = ds.WriteErrors
+		m["d_bytes_read"] = ds.BytesRead
+		m["d_bytes_written"] = ds.BytesWritten
+		m["d_load_us"] = ds.LoadUs
+	}
+	return m
+}
+
+// TestTwoTierStatsMonotonicUnderChurn hammers a deliberately undersized
+// memory tier from concurrent clients while a scraper polls /v1/stats, and
+// asserts no monotonic counter ever goes backwards between scrapes — the
+// property that makes the counters usable as rates. Run with -race.
+func TestTwoTierStatsMonotonicUnderChurn(t *testing.T) {
+	svc, err := Open(Config{CacheSize: 2, Parallel: 4}, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := svc.Handler()
+
+	// 6 distinct keys over a 2-entry LRU: every worker pass churns the
+	// memory tier and lands disk hits, misses, writes and promotions.
+	bodies := make([]string, 6)
+	for i := range bodies {
+		bodies[i] = fmt.Sprintf(`{"framework": "raf", "baseline": "none", "seed": %d}`, i)
+	}
+
+	var stop atomic.Bool
+	scrapeErr := make(chan error, 1)
+	go func() {
+		prev := snapshotCounters(svc.Stats())
+		for !stop.Load() {
+			cur := snapshotCounters(svc.Stats())
+			for k, v := range cur {
+				if v < prev[k] {
+					select {
+					case scrapeErr <- fmt.Errorf("%s went backwards: %d -> %d", k, prev[k], v):
+					default:
+					}
+					return
+				}
+			}
+			prev = cur
+		}
+		scrapeErr <- nil
+	}()
+
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 24; i++ {
+				rec := postPlan(t, h, bodies[(w+i)%len(bodies)])
+				if rec.Code != http.StatusOK {
+					t.Errorf("status %d: %s", rec.Code, rec.Body)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	stop.Store(true)
+	if err := <-scrapeErr; err != nil {
+		t.Fatal(err)
+	}
+
+	st := svc.Stats()
+	if st.PlanTiers.DiskHits == 0 {
+		t.Error("churn over an undersized LRU should land disk hits")
+	}
+	if st.PlanTiers.Misses != int64(len(bodies)) {
+		t.Errorf("tier misses = %d, want %d (one per distinct key)", st.PlanTiers.Misses, len(bodies))
+	}
+	// Every lookup is accounted to exactly one outcome: hits + shared
+	// flights + misses cover all requests.
+	total := st.PlanTiers.MemoryHits + st.PlanTiers.DiskHits + st.Deduplicated + st.PlanTiers.Misses
+	if want := int64(workers * 24); total != want {
+		t.Errorf("tier outcomes sum to %d, want %d requests", total, want)
+	}
+	if st.Computations != int64(len(bodies)) {
+		t.Errorf("computations = %d, want %d (each key computed once, then served from a tier)",
+			st.Computations, len(bodies))
+	}
+}
+
+// TestConcurrentPutsNeverServeTornArtifacts races writers flipping one key
+// between two payloads against readers, directly on the disk store. Every
+// read must see exactly one of the two complete payloads — the atomicity
+// tmp+rename buys — and nothing may ever count as corrupt. Run with -race.
+func TestConcurrentPutsNeverServeTornArtifacts(t *testing.T) {
+	d, err := openDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const key = "contended-key"
+	a := bytes.Repeat([]byte("A"), 4096)
+	b := bytes.Repeat([]byte("B"), 4096)
+	d.put(key, a)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			payload := a
+			if w%2 == 1 {
+				payload = b
+			}
+			for i := 0; i < 50; i++ {
+				d.put(key, payload)
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				got, ok := d.get(key)
+				if !ok {
+					t.Error("contended key vanished mid-race")
+					return
+				}
+				if !bytes.Equal(got, a) && !bytes.Equal(got, b) {
+					t.Errorf("read a torn artifact: %d bytes, first byte %q", len(got), got[0])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	st := d.stats()
+	if st.Corrupt != 0 {
+		t.Errorf("concurrent same-key puts produced %d corrupt reads", st.Corrupt)
+	}
+	if st.WriteErrors != 0 {
+		t.Errorf("concurrent same-key puts produced %d write errors", st.WriteErrors)
+	}
+	if st.Artifacts != 1 {
+		t.Errorf("artifact gauge = %d, want 1", st.Artifacts)
+	}
+	// The survivor on disk must itself be a complete artifact.
+	got, ok := d.get(key)
+	if !ok || (!bytes.Equal(got, a) && !bytes.Equal(got, b)) {
+		t.Error("final artifact is not one of the written payloads")
+	}
+}

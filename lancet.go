@@ -264,6 +264,24 @@ type Options struct {
 	// slow ones, and comparing it against the default quantifies what
 	// knowing the fleet mix buys.
 	AssumeUniformHardware bool
+	// Hint seeds the partition DP with a neighboring configuration's
+	// chosen pipelines — typically the adjacent sweep grid point's
+	// Plan.Pipelines (DESIGN.md §14). A good hint cuts DP evaluations
+	// sharply (the DP probes each hinted partition count's neighborhood
+	// and skips the rest of the k sweep when it wins); a stale or
+	// mismatched hint only costs its probes. Chosen plans are
+	// byte-identical to a hint-free run either way, which is why the
+	// serving layer's plan-store keys ignore it.
+	Hint []PipelineHint
+}
+
+// PipelineHint is one chosen pipeline of a previous plan — the instruction
+// range (input-graph program order, inclusive) and partition count the
+// warm-started partition DP seeds itself from (DESIGN.md §14).
+type PipelineHint struct {
+	Start int `json:"start"`
+	End   int `json:"end"`
+	K     int `json:"k"`
 }
 
 // Session holds a model instance built for a cluster, ready to be planned
@@ -365,8 +383,13 @@ type Plan struct {
 	// PipelineKs lists the chosen per-pipeline partition counts in program
 	// order — the plan shape that shifts under skewed routing.
 	PipelineKs []int
-	// DPEvaluations counts P(i,n,k) evaluations (optimization effort).
+	// DPEvaluations counts P(i,n,k) evaluations (optimization effort) —
+	// the quantity a warm-start hint reduces (DESIGN.md §14).
 	DPEvaluations int
+	// Pipelines lists the chosen pipelines (instruction range + partition
+	// count) — the warm-start hint a neighboring configuration seeds its
+	// partition DP from via Options.Hint (DESIGN.md §14).
+	Pipelines []PipelineHint
 	// RhoUsed is the maximum-partition limit actually used after the OOM
 	// fallback (paper Sec. 7: rho=8, reduced to 4 then 2 when partition
 	// staging would exceed device memory).
@@ -517,6 +540,12 @@ func (s *Session) Lancet(opts Options) (*Plan, error) {
 			MaxRangeGroups:   opts.MaxRangeGroups,
 			GatePartialBatch: s.Config.Gate.SupportsPartialBatch(),
 		}
+		if len(opts.Hint) > 0 {
+			popts.Hint = make([]partition.Range, len(opts.Hint))
+			for i, h := range opts.Hint {
+				popts.Hint[i] = partition.Range{Start: h.Start, End: h.End, K: h.K}
+			}
+		}
 		prof, frac, err := s.routingContext()
 		if err != nil {
 			return nil, fmt.Errorf("lancet: routing profile: %w", err)
@@ -546,8 +575,10 @@ func (s *Session) Lancet(opts Options) (*Plan, error) {
 				g = res.Graph
 				plan.PipelineRanges = len(res.Ranges)
 				plan.PipelineKs = plan.PipelineKs[:0]
+				plan.Pipelines = plan.Pipelines[:0]
 				for _, r := range res.Ranges {
 					plan.PipelineKs = append(plan.PipelineKs, r.K)
+					plan.Pipelines = append(plan.Pipelines, PipelineHint{Start: r.Start, End: r.End, K: r.K})
 				}
 				plan.DPEvaluations += res.Evaluations
 				plan.RhoUsed = popts.MaxPartitions
