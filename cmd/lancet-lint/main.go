@@ -1,0 +1,106 @@
+// Command lancet-lint is the multichecker for Lancet's project-specific
+// analyzer suite (DESIGN.md §15): it type-checks the packages matching its
+// arguments and applies every registered analyzer — detrange (map-order
+// determinism, §7), hotalloc (zero-alloc hot paths, §13), atomiccounter
+// (counter atomicity, §14), lockheld (no blocking under mutexes), and
+// designref (DESIGN.md section references resolve). Findings fail the run;
+// a deliberate exception is carried in-source by
+// `//lint:ignore <analyzer> <reason>`.
+//
+// Usage:
+//
+//	lancet-lint ./...          # lint the whole module (the CI invocation)
+//	lancet-lint ./internal/... # lint a subtree
+//	lancet-lint -list          # list registered analyzers
+//
+// Exit status: 0 clean, 1 findings, 2 load or usage errors. Orphaned
+// DESIGN.md sections (never referenced from code) are reported as notes on
+// stderr without affecting the exit status.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"lancet/internal/analysis"
+	"lancet/internal/analysis/all"
+	"lancet/internal/analysis/designref"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable body: 0 clean, 1 findings, 2 errors.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lancet-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list registered analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+
+	analyzers := all.Analyzers()
+	if *list {
+		printList(stdout, analyzers)
+		return 0
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(stderr, "lancet-lint: %v\n", err)
+		return 2
+	}
+	pkgs, err := analysis.Load(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "lancet-lint: %v\n", err)
+		return 2
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
+
+	findings := 0
+	merged := designref.Refs{}
+	for _, pkg := range pkgs {
+		res, err := analysis.RunAnalyzers(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintf(stderr, "lancet-lint: %v\n", err)
+			return 2
+		}
+		for _, d := range res.Diagnostics {
+			fmt.Fprintln(stdout, d)
+			findings++
+		}
+		if v, ok := res.Values[designref.Analyzer.Name].(*designref.Refs); ok {
+			designref.Merge(&merged, *v)
+		}
+	}
+	for _, orphan := range designref.Orphans(merged) {
+		fmt.Fprintf(stderr, "lancet-lint: note: DESIGN.md %s is referenced by no Go source\n", orphan)
+	}
+	if findings > 0 {
+		fmt.Fprintf(stderr, "lancet-lint: %d finding(s) in %d package(s)\n", findings, len(pkgs))
+		return 1
+	}
+	return 0
+}
+
+// printList writes one "name: summary" line per analyzer, the same
+// discoverability contract as lancet-bench -list.
+func printList(w io.Writer, analyzers []*analysis.Analyzer) {
+	for _, a := range analyzers {
+		summary, _, _ := strings.Cut(a.Doc, "\n")
+		fmt.Fprintf(w, "%-14s %s\n", a.Name+":", summary)
+	}
+}

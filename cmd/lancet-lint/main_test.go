@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestListGolden pins the -list output: analyzer names and one-line
+// summaries, in registration order.
+func TestListGolden(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errw); code != 0 {
+		t.Fatalf("run(-list) = %d, want 0 (stderr: %s)", code, errw.String())
+	}
+	goldenPath := filepath.Join("testdata", "list.golden")
+	golden, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != string(golden) {
+		t.Errorf("-list output drifted from %s:\n--- got ---\n%s--- want ---\n%s",
+			goldenPath, out.String(), golden)
+	}
+}
+
+func TestCleanPackageExitsZero(t *testing.T) {
+	t.Chdir(filepath.Join("testdata", "src", "clean"))
+	var out, errw bytes.Buffer
+	if code := run(nil, &out, &errw); code != 0 {
+		t.Fatalf("run() on clean fixture = %d, want 0\nstdout: %s\nstderr: %s",
+			code, out.String(), errw.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean fixture produced diagnostics:\n%s", out.String())
+	}
+}
+
+func TestDirtyPackageExitsOne(t *testing.T) {
+	t.Chdir(filepath.Join("testdata", "src", "dirty"))
+	var out, errw bytes.Buffer
+	if code := run([]string{"."}, &out, &errw); code != 1 {
+		t.Fatalf("run(.) on dirty fixture = %d, want 1\nstdout: %s\nstderr: %s",
+			code, out.String(), errw.String())
+	}
+	for _, want := range []string{"dirty.go", "[detrange]"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("dirty fixture output missing %q:\n%s", want, out.String())
+		}
+	}
+	if !strings.Contains(errw.String(), "finding(s)") {
+		t.Errorf("stderr missing the findings summary: %s", errw.String())
+	}
+}
+
+func TestBadPatternExitsTwo(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"./no/such/dir"}, &out, &errw); code != 2 {
+		t.Fatalf("run(./no/such/dir) = %d, want 2", code)
+	}
+	if errw.Len() == 0 {
+		t.Error("load failure produced no stderr explanation")
+	}
+}
+
+func TestFlagHandling(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-h"}, &out, &errw); code != 0 {
+		t.Errorf("run(-h) = %d, want 0", code)
+	}
+	if code := run([]string{"-no-such-flag"}, &out, &errw); code != 2 {
+		t.Errorf("run(-no-such-flag) = %d, want 2", code)
+	}
+}

@@ -1,0 +1,12 @@
+// Package dirty carries one deliberate determinism bug so the driver's
+// exit-1 path stays tested end to end.
+package dirty
+
+import "fmt"
+
+// PrintAll leaks map iteration order into its output.
+func PrintAll(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}

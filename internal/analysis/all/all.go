@@ -1,0 +1,24 @@
+// Package all registers Lancet's complete analyzer suite (DESIGN.md §15)
+// for the multichecker (cmd/lancet-lint) and the meta-tests that keep
+// every analyzer fixture-covered.
+package all
+
+import (
+	"lancet/internal/analysis"
+	"lancet/internal/analysis/atomiccounter"
+	"lancet/internal/analysis/designref"
+	"lancet/internal/analysis/detrange"
+	"lancet/internal/analysis/hotalloc"
+	"lancet/internal/analysis/lockheld"
+)
+
+// Analyzers returns the full suite in stable (alphabetical) order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		atomiccounter.Analyzer,
+		designref.Analyzer,
+		detrange.Analyzer,
+		hotalloc.Analyzer,
+		lockheld.Analyzer,
+	}
+}

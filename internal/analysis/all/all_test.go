@@ -1,0 +1,74 @@
+package all_test
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"lancet/internal/analysis/all"
+)
+
+// TestSuiteRegistration pins the registry invariants: analyzers are named,
+// documented, unique, and listed in stable order.
+func TestSuiteRegistration(t *testing.T) {
+	analyzers := all.Analyzers()
+	if len(analyzers) < 5 {
+		t.Fatalf("suite has %d analyzers, want at least 5", len(analyzers))
+	}
+	seen := make(map[string]bool)
+	var names []string
+	for _, a := range analyzers {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v is missing a name, doc, or run function", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+		names = append(names, a.Name)
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("analyzers not registered in sorted order: %v", names)
+	}
+}
+
+// TestEveryAnalyzerHasFixtures fails when a registered analyzer lacks an
+// analysistest fixture with at least one want expectation — a new analyzer
+// cannot land untested.
+func TestEveryAnalyzerHasFixtures(t *testing.T) {
+	for _, a := range all.Analyzers() {
+		srcRoot := filepath.Join("..", a.Name, "testdata", "src")
+		fixtures, err := os.ReadDir(srcRoot)
+		if err != nil {
+			t.Errorf("analyzer %s has no fixture root %s: %v", a.Name, srcRoot, err)
+			continue
+		}
+		wants := 0
+		for _, fx := range fixtures {
+			if !fx.IsDir() {
+				continue
+			}
+			files, err := os.ReadDir(filepath.Join(srcRoot, fx.Name()))
+			if err != nil {
+				t.Errorf("analyzer %s fixture %s: %v", a.Name, fx.Name(), err)
+				continue
+			}
+			for _, f := range files {
+				if !strings.HasSuffix(f.Name(), ".go") {
+					continue
+				}
+				data, err := os.ReadFile(filepath.Join(srcRoot, fx.Name(), f.Name()))
+				if err != nil {
+					t.Errorf("analyzer %s fixture file %s: %v", a.Name, f.Name(), err)
+					continue
+				}
+				wants += strings.Count(string(data), "// want ")
+			}
+		}
+		if wants == 0 {
+			t.Errorf("analyzer %s has no fixture with a // want expectation under %s", a.Name, srcRoot)
+		}
+	}
+}

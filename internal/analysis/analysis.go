@@ -1,0 +1,126 @@
+// Package analysis is Lancet's project-specific static-analysis layer
+// (DESIGN.md §15): a small analyzer framework modeled on the API shape of
+// golang.org/x/tools/go/analysis, built on the standard library only — this
+// module deliberately has no external dependencies. Each analyzer inspects
+// one type-checked package and reports diagnostics; the multichecker binary
+// (cmd/lancet-lint) runs every registered analyzer over a package pattern
+// and fails the build on findings, moving guarantees that used to be
+// enforced only at runtime — deterministic output (§7), zero-alloc hot
+// paths (§13), monotonic counters (§14) — to compile time.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// An Analyzer describes one static-analysis rule. Run inspects a single
+// type-checked package through the Pass and reports findings via
+// Pass.Reportf; its first return value, if non-nil, is surfaced to the
+// driver (designref uses it to aggregate section references for orphan
+// detection).
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in //lint:ignore
+	// directives. Lower-case, no spaces.
+	Name string
+	// Doc describes the rule. The first line is the one-line summary
+	// `lancet-lint -list` prints.
+	Doc string
+	// Run performs the analysis.
+	Run func(*Pass) (any, error)
+}
+
+// A Pass is one (analyzer, package) unit of work: the parsed and
+// type-checked package an analyzer inspects.
+type Pass struct {
+	Analyzer   *Analyzer
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	TypesInfo  *types.Info
+	Dir        string // package directory on disk
+	ImportPath string
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// A Diagnostic is one finding, with its position already resolved so
+// drivers can print or compare it without the FileSet.
+type Diagnostic struct {
+	Pos      token.Position
+	Message  string
+	Analyzer string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// Result is the outcome of running a set of analyzers over one package.
+type Result struct {
+	// Diagnostics holds the surviving findings (suppressed ones removed),
+	// ordered by file position.
+	Diagnostics []Diagnostic
+	// Values maps analyzer name to the Run return value, for analyzers
+	// that expose data beyond diagnostics.
+	Values map[string]any
+}
+
+// RunAnalyzers applies every analyzer to the package, filters findings
+// through the package's //lint:ignore directives, and returns the combined
+// result. Analyzer errors (not findings) abort the run.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) (*Result, error) {
+	res := &Result{Values: make(map[string]any)}
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:   a,
+			Fset:       pkg.Fset,
+			Files:      pkg.Files,
+			Pkg:        pkg.Types,
+			TypesInfo:  pkg.TypesInfo,
+			Dir:        pkg.Dir,
+			ImportPath: pkg.ImportPath,
+			diags:      &diags,
+		}
+		v, err := a.Run(pass)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
+		}
+		if v != nil {
+			res.Values[a.Name] = v
+		}
+	}
+	ignores := ignoreDirectives(pkg)
+	for _, d := range diags {
+		if !ignores.suppresses(d) {
+			res.Diagnostics = append(res.Diagnostics, d)
+		}
+	}
+	sort.Slice(res.Diagnostics, func(i, j int) bool {
+		a, b := res.Diagnostics[i], res.Diagnostics[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return res, nil
+}

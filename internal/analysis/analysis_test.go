@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseOne(t *testing.T, src string) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, f
+}
+
+func TestHasDirective(t *testing.T) {
+	_, f := parseOne(t, `package p
+
+//lancet:hotpath
+func hot() {}
+
+// lancet:hotpath is mentioned here but not as a standalone directive line.
+func notHot() {}
+
+//lancet:alloc-ok grows the scratch arena
+func exempt() {}
+`)
+	var decls []*ast.FuncDecl
+	for _, d := range f.Decls {
+		decls = append(decls, d.(*ast.FuncDecl))
+	}
+	if !HasDirective(decls[0].Doc, DirectiveHotpath) {
+		t.Error("hot: directive not detected")
+	}
+	if HasDirective(decls[1].Doc, DirectiveHotpath) {
+		t.Error("notHot: prose mention misread as a directive")
+	}
+	if !HasDirective(decls[2].Doc, DirectiveAllocOK) {
+		t.Error("exempt: directive with trailing commentary not detected")
+	}
+	if HasDirective(nil, DirectiveHotpath) {
+		t.Error("nil comment group reported a directive")
+	}
+}
+
+func TestFileHotpath(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want bool
+	}{
+		{"package doc", `// Package p is hot.
+//
+//lancet:hotpath
+package p
+`, true},
+		{"standalone group", `package p
+
+// Scratch helpers; the whole file is on the hot path.
+//
+//lancet:hotpath
+
+func f() {}
+`, true},
+		{"attached to one function only", `package p
+
+//lancet:hotpath
+func f() {}
+`, false},
+		{"no directive", `package p
+
+func f() {}
+`, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, f := parseOne(t, tc.src)
+			if got := FileHotpath(f); got != tc.want {
+				t.Errorf("FileHotpath = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestIgnoreSuppression(t *testing.T) {
+	fset, f := parseOne(t, `package p
+
+func f() {
+	//lint:ignore hotalloc pool refill, cold by construction
+	x := 1
+	y := 2 //lint:ignore detrange keys are sorted upstream
+	//lint:ignore hotalloc
+	z := 3
+	_, _, _ = x, y, z
+}
+`)
+	set := ignoreDirectives(&Package{Fset: fset, Files: []*ast.File{f}})
+	diag := func(line int, analyzer string) Diagnostic {
+		return Diagnostic{
+			Pos:      token.Position{Filename: "x.go", Line: line},
+			Analyzer: analyzer,
+		}
+	}
+	if !set.suppresses(diag(5, "hotalloc")) {
+		t.Error("standalone directive did not suppress the line below")
+	}
+	if !set.suppresses(diag(6, "detrange")) {
+		t.Error("trailing directive did not suppress its own line")
+	}
+	if set.suppresses(diag(5, "detrange")) {
+		t.Error("directive suppressed a different analyzer")
+	}
+	if set.suppresses(diag(8, "hotalloc")) {
+		t.Error("reason-less directive was honored; the reason is mandatory")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(t.TempDir(), "./..."); err == nil {
+		t.Error("Load outside a module succeeded, want error")
+	}
+	if _, err := Load(".", "./no/such/dir"); err == nil {
+		t.Error("Load of a nonexistent pattern succeeded, want error")
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{
+		Pos:      token.Position{Filename: "a/b.go", Line: 12, Column: 3},
+		Message:  "make allocates",
+		Analyzer: "hotalloc",
+	}
+	if got, want := d.String(), "a/b.go:12:3: make allocates [hotalloc]"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	if !strings.Contains(d.String(), "[hotalloc]") {
+		t.Error("diagnostic string does not carry the analyzer name")
+	}
+}

@@ -1,0 +1,165 @@
+// Package analysistest runs an analyzer over a fixture package and checks
+// its diagnostics against // want comments in the fixture sources — the
+// same contract as golang.org/x/tools/go/analysis/analysistest, rebuilt on
+// the standard library. Fixtures live under testdata/src/<name> relative
+// to the calling test's package directory; they are real, compiling
+// packages inside this module (testdata directories are invisible to
+// ./... expansion, so the deliberately lint-failing code never reaches the
+// build, vet, or the repo-wide lancet-lint run).
+//
+// Expectation syntax, one or more per offending line:
+//
+//	code() // want "regexp" "another regexp"
+//
+// Every diagnostic must be matched by a want on its (file, line), and
+// every want must match a diagnostic: unexpected findings and unmatched
+// expectations both fail the test.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"lancet/internal/analysis"
+)
+
+// Run loads testdata/src/<fixture> relative to the current test's working
+// directory (the package directory under `go test`), applies the analyzer,
+// and diffs diagnostics against the fixture's want comments. It returns
+// the analysis result for tests that also assert on analyzer values.
+func Run(t *testing.T, a *analysis.Analyzer, fixture string) *analysis.Result {
+	t.Helper()
+	dir, err := FixtureDir(fixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := analysis.Load(dir, ".")
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixture, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("fixture %s loaded %d packages, want 1", fixture, len(pkgs))
+	}
+	res, err := analysis.RunAnalyzers(pkgs[0], []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on fixture %s: %v", a.Name, fixture, err)
+	}
+
+	wants, err := parseWants(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matched := make([]bool, len(wants))
+	for _, d := range res.Diagnostics {
+		ok := false
+		for i, w := range wants {
+			if matched[i] || w.file != filepath.Base(d.Pos.Filename) || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.re)
+		}
+	}
+	return res
+}
+
+// FixtureDir resolves testdata/src/<fixture> against the working
+// directory, which under `go test` is the test package's directory.
+func FixtureDir(fixture string) (string, error) {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	dir := filepath.Join(cwd, "testdata", "src", fixture)
+	if _, err := os.Stat(dir); err != nil {
+		return "", fmt.Errorf("fixture %s: %w", fixture, err)
+	}
+	return dir, nil
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+// wantPattern pulls the comment tail off a line; expectations are parsed
+// from it as a sequence of Go-quoted strings.
+var wantPattern = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+func parseWants(dir string) ([]want, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var wants []want
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantPattern.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			rest := strings.TrimSpace(m[1])
+			for rest != "" {
+				if rest[0] != '"' && rest[0] != '`' {
+					return nil, fmt.Errorf("%s:%d: malformed want: %q", e.Name(), i+1, rest)
+				}
+				q, tail, err := cutQuoted(rest)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: %v", e.Name(), i+1, err)
+				}
+				re, err := regexp.Compile(q)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: want pattern: %v", e.Name(), i+1, err)
+				}
+				wants = append(wants, want{file: e.Name(), line: i + 1, re: re})
+				rest = strings.TrimSpace(tail)
+			}
+		}
+	}
+	return wants, nil
+}
+
+// cutQuoted splits one leading Go string literal off s.
+func cutQuoted(s string) (val, rest string, err error) {
+	if s[0] == '`' {
+		end := strings.IndexByte(s[1:], '`')
+		if end < 0 {
+			return "", "", fmt.Errorf("unterminated raw string: %q", s)
+		}
+		return s[1 : 1+end], s[end+2:], nil
+	}
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			val, err := strconv.Unquote(s[:i+1])
+			return val, s[i+1:], err
+		}
+	}
+	return "", "", fmt.Errorf("unterminated string: %q", s)
+}

@@ -1,0 +1,36 @@
+package analysistest_test
+
+import (
+	"go/ast"
+	"testing"
+
+	"lancet/internal/analysis"
+	"lancet/internal/analysis/analysistest"
+)
+
+// emptyFunc is a toy analyzer exercising the harness itself: it flags
+// function declarations with empty bodies.
+var emptyFunc = &analysis.Analyzer{
+	Name: "emptyfunc",
+	Doc:  "flags functions with empty bodies",
+	Run: func(pass *analysis.Pass) (any, error) {
+		for _, f := range pass.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil && len(fd.Body.List) == 0 {
+					pass.Reportf(fd.Pos(), "function %s has an empty body", fd.Name.Name)
+				}
+			}
+		}
+		return nil, nil
+	},
+}
+
+func TestRunMatchesWants(t *testing.T) {
+	analysistest.Run(t, emptyFunc, "a")
+}
+
+func TestMissingFixture(t *testing.T) {
+	if _, err := analysistest.FixtureDir("no-such-fixture"); err == nil {
+		t.Error("FixtureDir on a missing fixture succeeded, want error")
+	}
+}

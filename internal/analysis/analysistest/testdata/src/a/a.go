@@ -1,0 +1,12 @@
+// Package a is the harness's own fixture, linted by a toy analyzer that
+// flags functions with empty bodies.
+package a
+
+func empty() {} // want `function empty has an empty body`
+
+func full() int {
+	return 1
+}
+
+var _ = empty
+var _ = full

@@ -1,0 +1,65 @@
+package analysistest
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCutQuoted(t *testing.T) {
+	cases := []struct {
+		in, val, rest string
+		wantErr       bool
+	}{
+		{in: `"plain" tail`, val: "plain", rest: " tail"},
+		{in: `"with \"escapes\"" x`, val: `with "escapes"`, rest: " x"},
+		{in: "`raw \\d+` next", val: `raw \d+`, rest: " next"},
+		{in: `"unterminated`, wantErr: true},
+		{in: "`unterminated", wantErr: true},
+	}
+	for _, tc := range cases {
+		val, rest, err := cutQuoted(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("cutQuoted(%q) succeeded, want error", tc.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("cutQuoted(%q): %v", tc.in, err)
+			continue
+		}
+		if val != tc.val || rest != tc.rest {
+			t.Errorf("cutQuoted(%q) = (%q, %q), want (%q, %q)", tc.in, val, rest, tc.val, tc.rest)
+		}
+	}
+}
+
+func TestParseWantsRejectsMalformed(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	write("ok.go", "package a\n\nvar x = 1 // want `x` \"y\"\n")
+	wants, err := parseWants(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wants) != 2 {
+		t.Errorf("parsed %d wants, want 2: %v", len(wants), wants)
+	}
+
+	write("bad.go", "package a\n\nvar y = 1 // want unquoted\n")
+	if _, err := parseWants(dir); err == nil {
+		t.Error("parseWants accepted an unquoted expectation")
+	}
+
+	write("bad.go", "package a\n\nvar y = 1 // want \"(unbalanced\"\n")
+	if _, err := parseWants(dir); err == nil {
+		t.Error("parseWants accepted an uncompilable regexp")
+	}
+}

@@ -1,0 +1,134 @@
+// Package atomiccounter enforces counter atomicity (DESIGN.md §14): a
+// variable or struct field touched through sync/atomic anywhere in a
+// package must be touched atomically everywhere in it. Mixing
+// atomic.AddInt64(&c.n, 1) with a plain `c.n` read compiles, usually
+// works, and is a data race -race only catches under the right
+// interleaving; the monotonic-counters guarantee of /v1/stats depends on
+// no such mix existing. Typed atomics (atomic.Int64 and friends) are
+// immune by construction and are the preferred fix.
+package atomiccounter
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"lancet/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "atomiccounter",
+	Doc: "flags plain reads/writes of variables that are accessed via sync/atomic elsewhere in the package\n\n" +
+		"Every access to an atomically-touched counter must go through sync/atomic\n" +
+		"(or better, a typed atomic.Int64): one plain read is a data race and can\n" +
+		"observe torn or stale values, breaking monotonic stats (DESIGN.md §14).",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	info := pass.TypesInfo
+
+	// Pass 1: collect every variable whose address is taken as the
+	// pointer argument of a sync/atomic call, remembering the exact AST
+	// nodes involved so pass 2 can tell sanctioned appearances apart.
+	atomicVars := make(map[*types.Var]bool)
+	sanctioned := make(map[ast.Node]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.Callee(info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				target := ast.Unparen(un.X)
+				if v := varOf(info, target); v != nil {
+					atomicVars[v] = true
+					sanctioned[target] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicVars) == 0 {
+		return nil, nil
+	}
+
+	// Pass 2: any other appearance of those variables is a plain access.
+	// skip holds idents that are part of an already-handled parent node
+	// (a selector's Sel, a composite literal's field key) — parents are
+	// visited before children, so membership is established in time.
+	skip := make(map[ast.Node]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				// S{n: 0} initializes a not-yet-shared value; the key
+				// is not an access.
+				for _, e := range n.Elts {
+					if kv, ok := e.(*ast.KeyValueExpr); ok {
+						skip[kv.Key] = true
+					}
+				}
+				return true
+			case *ast.SelectorExpr:
+				skip[n.Sel] = true
+				v := varOf(info, n)
+				if v == nil {
+					return true // keep descending into X
+				}
+				if atomicVars[v] && !sanctioned[n] {
+					report(pass, n.Pos(), v)
+				}
+				return true // X may itself contain accesses
+			case *ast.Ident:
+				if skip[n] {
+					return true
+				}
+				v := varOf(info, n)
+				if v != nil && atomicVars[v] && !sanctioned[n] {
+					report(pass, n.Pos(), v)
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func report(pass *analysis.Pass, pos token.Pos, v *types.Var) {
+	pass.Reportf(pos,
+		"%s is accessed with sync/atomic elsewhere in this package; this plain access races with it (use atomic ops everywhere, or a typed atomic.Int64)",
+		v.Name())
+}
+
+// varOf resolves an expression to the variable object it denotes: a struct
+// field for selectors (via the selection's terminal field), a package-level
+// or local variable for identifiers. Returns nil for anything else.
+func varOf(info *types.Info, expr ast.Expr) *types.Var {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok {
+			if v, ok := sel.Obj().(*types.Var); ok {
+				return v
+			}
+			return nil
+		}
+		// Package-qualified: pkg.Var
+		if v, ok := info.Uses[e.Sel].(*types.Var); ok {
+			return v
+		}
+	case *ast.Ident:
+		if v, ok := info.Uses[e].(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package atomiccounter_test
+
+import (
+	"testing"
+
+	"lancet/internal/analysis/analysistest"
+	"lancet/internal/analysis/atomiccounter"
+)
+
+func TestAtomicCounter(t *testing.T) {
+	analysistest.Run(t, atomiccounter.Analyzer, "a")
+}

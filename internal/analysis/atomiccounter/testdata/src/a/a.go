@@ -1,0 +1,50 @@
+// Package a is the atomiccounter fixture: variables touched through
+// sync/atomic anywhere must be touched atomically everywhere.
+package a
+
+import "sync/atomic"
+
+type counter struct {
+	hits  int64
+	total int64
+}
+
+func (c *counter) inc() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counter) read() int64 {
+	return c.hits // want `hits is accessed with sync/atomic elsewhere`
+}
+
+func (c *counter) reset() {
+	c.hits = 0 // want `hits is accessed with sync/atomic elsewhere`
+}
+
+// total is never touched atomically: plain accesses are fine.
+func (c *counter) bump() {
+	c.total++
+}
+
+func (c *counter) readTotal() int64 {
+	return c.total
+}
+
+// A composite-literal key initializes a not-yet-shared value: not an access.
+func newCounter() *counter {
+	return &counter{hits: 0, total: 0}
+}
+
+var ops int64
+
+func incOps() {
+	atomic.AddInt64(&ops, 1)
+}
+
+func snapshotOps() int64 {
+	return ops // want `ops is accessed with sync/atomic elsewhere`
+}
+
+func loadOps() int64 {
+	return atomic.LoadInt64(&ops)
+}

@@ -1,0 +1,184 @@
+// Package designref resolves every "DESIGN.md §N" reference in Go sources
+// — comments and string literals alike — against the actual `## §N`
+// headings of the repository's DESIGN.md, replacing the shell grep that
+// used to live in ci.yml with a tested analyzer. A reference to a section
+// that does not exist is a diagnostic; sections no Go source references
+// are reported by the driver as orphan notes (informational, not
+// build-failing: prose may legitimately outlive its last code reference,
+// but it deserves a look).
+package designref
+
+import (
+	"bufio"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"lancet/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "designref",
+	Doc: "verifies every DESIGN.md §N reference in Go sources resolves to a real section heading\n\n" +
+		"The codebase promises \"see DESIGN.md §N\" in dozens of places; this rule\n" +
+		"fails the build when a renumbering or deletion strands one of them, and\n" +
+		"feeds the driver the data to report never-referenced (orphaned) sections.",
+	Run: run,
+}
+
+// Refs is the analyzer's Run value: which DESIGN.md sections exist and
+// which ones this package references. The driver merges Refs across
+// packages to compute orphans.
+type Refs struct {
+	// Sections maps §-number to its heading title (text after "## §N").
+	Sections map[int]string
+	// Referenced holds the section numbers this package mentions.
+	Referenced map[int]bool
+}
+
+// refPattern matches "DESIGN.md §7" (and tolerates "DESIGN.md  §7").
+var refPattern = regexp.MustCompile(`DESIGN\.md\s*§([0-9]+)`)
+
+// headingPattern matches "## §7 Determinism ..." headings.
+var headingPattern = regexp.MustCompile(`^## §([0-9]+)\s*(.*)$`)
+
+func run(pass *analysis.Pass) (any, error) {
+	sections, path, err := loadSections(pass.Dir)
+	if err != nil {
+		// No DESIGN.md anywhere up the tree: only a finding if this
+		// package actually references it.
+		if pos := firstRef(pass); pos != token.NoPos {
+			pass.Reportf(pos, "DESIGN.md is referenced but no DESIGN.md exists up the directory tree: %v", err)
+		}
+		return nil, nil
+	}
+	refs := &Refs{Sections: sections, Referenced: make(map[int]bool)}
+	forEachRef(pass, func(pos token.Pos, sec int) {
+		refs.Referenced[sec] = true
+		if _, ok := sections[sec]; !ok {
+			pass.Reportf(pos, "%s has no section \"## §%d\" (referenced here)", filepath.Base(path), sec)
+		}
+	})
+	return refs, nil
+}
+
+// Orphans returns the sections of a merged Refs set that no package
+// references, in ascending order, formatted "§N Title".
+func Orphans(merged Refs) []string {
+	var nums []int
+	for n := range merged.Sections {
+		if !merged.Referenced[n] {
+			nums = append(nums, n)
+		}
+	}
+	sort.Ints(nums)
+	labels := make([]string, len(nums))
+	for i, n := range nums {
+		labels[i] = strings.TrimSpace(fmt.Sprintf("§%d %s", n, merged.Sections[n]))
+	}
+	return labels
+}
+
+// Merge folds b into a (a wins on section titles; referenced is a union).
+func Merge(a *Refs, b Refs) {
+	if a.Sections == nil {
+		a.Sections = make(map[int]string)
+	}
+	if a.Referenced == nil {
+		a.Referenced = make(map[int]bool)
+	}
+	for n, title := range b.Sections {
+		if _, ok := a.Sections[n]; !ok {
+			a.Sections[n] = title
+		}
+	}
+	for n := range b.Referenced {
+		a.Referenced[n] = true
+	}
+}
+
+// forEachRef invokes fn for every DESIGN.md §N mention in the package's
+// comments and string literals.
+func forEachRef(pass *analysis.Pass, fn func(token.Pos, int)) {
+	for _, f := range pass.Files {
+		for _, g := range f.Comments {
+			for _, c := range g.List {
+				for _, m := range refPattern.FindAllStringSubmatch(c.Text, -1) {
+					if n, err := strconv.Atoi(m[1]); err == nil {
+						fn(c.Pos(), n)
+					}
+				}
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			for _, m := range refPattern.FindAllStringSubmatch(lit.Value, -1) {
+				if sec, err := strconv.Atoi(m[1]); err == nil {
+					fn(lit.Pos(), sec)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// firstRef returns the position of the package's first DESIGN.md mention.
+func firstRef(pass *analysis.Pass) token.Pos {
+	first := token.NoPos
+	forEachRef(pass, func(pos token.Pos, _ int) {
+		if first == token.NoPos || pos < first {
+			first = pos
+		}
+	})
+	return first
+}
+
+// loadSections walks up from dir to the nearest DESIGN.md (stopping at the
+// module boundary) and parses its "## §N Title" headings. Fixture packages
+// carry their own DESIGN.md next to the sources, so tests exercise the
+// resolution without touching the real document.
+func loadSections(dir string) (map[int]string, string, error) {
+	for d := dir; ; {
+		path := filepath.Join(d, "DESIGN.md")
+		if _, err := os.Stat(path); err == nil {
+			sections, err := parseSections(path)
+			return sections, path, err
+		}
+		atModuleRoot := false
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			atModuleRoot = true
+		}
+		parent := filepath.Dir(d)
+		if atModuleRoot || parent == d {
+			return nil, "", fmt.Errorf("no DESIGN.md between %s and the module root", dir)
+		}
+		d = parent
+	}
+}
+
+func parseSections(path string) (map[int]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sections := make(map[int]string)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		if m := headingPattern.FindStringSubmatch(sc.Text()); m != nil {
+			if n, err := strconv.Atoi(m[1]); err == nil {
+				sections[n] = m[2]
+			}
+		}
+	}
+	return sections, sc.Err()
+}

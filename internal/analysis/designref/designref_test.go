@@ -1,0 +1,47 @@
+package designref_test
+
+import (
+	"reflect"
+	"testing"
+
+	"lancet/internal/analysis/analysistest"
+	"lancet/internal/analysis/designref"
+)
+
+func TestDesignRef(t *testing.T) {
+	res := analysistest.Run(t, designref.Analyzer, "a")
+
+	refs, ok := res.Values[designref.Analyzer.Name].(*designref.Refs)
+	if !ok {
+		t.Fatalf("analyzer value: got %T, want *designref.Refs", res.Values[designref.Analyzer.Name])
+	}
+	if got := len(refs.Sections); got != 3 {
+		t.Errorf("sections parsed: got %d, want 3 (%v)", got, refs.Sections)
+	}
+	for _, sec := range []int{1, 2, 9} {
+		if !refs.Referenced[sec] {
+			t.Errorf("section %d not recorded as referenced (%v)", sec, refs.Referenced)
+		}
+	}
+
+	var merged designref.Refs
+	designref.Merge(&merged, *refs)
+	if got, want := designref.Orphans(merged), []string{"§3 Unreferenced"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("orphans: got %v, want %v", got, want)
+	}
+}
+
+func TestMergeUnion(t *testing.T) {
+	var merged designref.Refs
+	designref.Merge(&merged, designref.Refs{
+		Sections:   map[int]string{1: "One", 2: "Two"},
+		Referenced: map[int]bool{1: true},
+	})
+	designref.Merge(&merged, designref.Refs{
+		Sections:   map[int]string{2: "Renamed Two", 3: "Three"},
+		Referenced: map[int]bool{3: true},
+	})
+	if got, want := designref.Orphans(merged), []string{"§2 Two"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("orphans: got %v, want %v", got, want)
+	}
+}

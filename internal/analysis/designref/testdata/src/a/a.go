@@ -1,0 +1,11 @@
+// Package a is the designref fixture; see DESIGN.md §1.
+package a
+
+// The planner contract is described in DESIGN.md §2.
+var planner = "stub"
+
+const docRef = "see DESIGN.md §9" // want `has no section "## §9"`
+
+func use() string {
+	return planner + docRef
+}

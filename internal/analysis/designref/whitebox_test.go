@@ -1,0 +1,79 @@
+package designref
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lancet/internal/analysis"
+)
+
+// TestLoadSectionsMissing pins the walk-up's stop conditions: a go.mod
+// without a DESIGN.md anywhere below it is a resolution failure.
+func TestLoadSectionsMissing(t *testing.T) {
+	root := t.TempDir()
+	if err := os.WriteFile(filepath.Join(root, "go.mod"), []byte("module x\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sub := filepath.Join(root, "a", "b")
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := loadSections(sub); err == nil {
+		t.Error("loadSections found a DESIGN.md that does not exist")
+	}
+}
+
+func TestLoadSectionsNearest(t *testing.T) {
+	root := t.TempDir()
+	doc := "# Notes\n\n## §4 The only section\n\nBody.\n"
+	if err := os.WriteFile(filepath.Join(root, "DESIGN.md"), []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sub := filepath.Join(root, "deep", "er")
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	sections, path, err := loadSections(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Dir(path) != root {
+		t.Errorf("resolved %s, want the DESIGN.md in %s", path, root)
+	}
+	if sections[4] != "The only section" {
+		t.Errorf("sections = %v, want §4 titled %q", sections, "The only section")
+	}
+}
+
+func TestFirstRef(t *testing.T) {
+	fset := token.NewFileSet()
+	src := `// Package p references DESIGN.md §7 in its doc.
+package p
+
+var x = "and DESIGN.md §9 in a literal"
+`
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass := &analysis.Pass{Fset: fset, Files: []*ast.File{f}}
+	pos := firstRef(pass)
+	if pos == token.NoPos {
+		t.Fatal("firstRef found nothing")
+	}
+	if line := fset.Position(pos).Line; line != 1 {
+		t.Errorf("first reference on line %d, want 1 (the doc comment)", line)
+	}
+
+	empty, err := parser.ParseFile(fset, "q.go", "package p\n", parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pos := firstRef(&analysis.Pass{Fset: fset, Files: []*ast.File{empty}}); pos != token.NoPos {
+		t.Errorf("firstRef on a reference-free file = %v, want NoPos", pos)
+	}
+}

@@ -1,0 +1,131 @@
+// Package detrange flags range statements over maps whose body reaches an
+// output or identity sink — JSON encoding, fmt writes, hash/Writer writes,
+// cache-key or fingerprint construction through strings.Builder and
+// friends — protecting the byte-identical-output guarantee of DESIGN.md §7.
+// Go randomizes map iteration order, so feeding one into anything
+// order-sensitive is a determinism bug that tests catch only
+// probabilistically. The deterministic idiom — collect keys, sort, range
+// the sorted slice — never trips the rule: the map-range body then only
+// appends, and the sink sits in the slice loop.
+package detrange
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"lancet/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "detrange",
+	Doc: "flags map iteration feeding output or identity sinks (JSON, fmt, hashes, key construction) without an intervening sort\n\n" +
+		"Map iteration order is randomized; a range-over-map body that writes, encodes,\n" +
+		"prints or builds a cache key produces nondeterministic bytes (DESIGN.md §7).\n" +
+		"Collect the keys, sort them, and range over the sorted slice instead.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	info := pass.TypesInfo
+
+	// First pass: which package-level functions contain a direct sink?
+	// A call to such a function from a map-range body counts too (one
+	// level of propagation, no recursion — enough to catch the helper
+	// that does the actual printing).
+	sinkFuncs := make(map[types.Object]bool)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if node, _ := directSink(info, fd.Body, nil); node != nil {
+				if obj := info.Defs[fd.Name]; obj != nil {
+					sinkFuncs[obj] = true
+				}
+			}
+		}
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := info.Types[rs.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if node, what := directSink(info, rs.Body, sinkFuncs); node != nil {
+				pass.Reportf(rs.Pos(),
+					"map iteration order is randomized but the loop body %s; sort the keys first (DESIGN.md §7)", what)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// directSink walks body and returns the first output/identity sink it
+// finds, with a description. A sink inside a nested loop still counts: the
+// outer map's order reaches it all the same.
+func directSink(info *types.Info, body ast.Node, sinkFuncs map[types.Object]bool) (node ast.Node, what string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if node != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := analysis.Callee(info, call)
+		switch {
+		case analysis.IsPkgFunc(fn, "encoding/json", "Marshal", "MarshalIndent"):
+			node, what = call, "JSON-encodes"
+		case analysis.IsPkgFunc(fn, "encoding/json", "Encode"):
+			node, what = call, "JSON-encodes"
+		case analysis.IsPkgFunc(fn, "fmt",
+			"Print", "Println", "Printf",
+			"Fprint", "Fprintln", "Fprintf",
+			"Sprint", "Sprintln", "Sprintf",
+			"Append", "Appendln", "Appendf"):
+			node, what = call, "formats output with fmt"
+		case isWriterSink(info, fn, call):
+			node, what = call, "writes through an io.Writer (hash, builder, buffer or stream)"
+		case fn != nil && sinkFuncs[fn]:
+			node, what = call, "calls "+fn.Name()+", which writes output"
+		}
+		return node == nil
+	})
+	return node, what
+}
+
+// isWriterSink reports whether the call is a write-flavored method on a
+// value with a structural io.Writer method set: hash.Hash implementations,
+// strings.Builder, bytes.Buffer, files, HTTP response writers. Sum is
+// included for hashes (identity/fingerprint construction).
+func isWriterSink(info *types.Info, fn *types.Func, call *ast.CallExpr) bool {
+	if fn == nil {
+		return false
+	}
+	switch fn.Name() {
+	case "Write", "WriteString", "WriteByte", "WriteRune", "Sum":
+	default:
+		return false
+	}
+	recv := analysis.ReceiverOf(info, call)
+	if recv == nil {
+		return false
+	}
+	if fn.Name() == "Sum" {
+		pkg, _ := analysis.NamedPath(recv)
+		return pkg == "hash" || pkg == "crypto" ||
+			strings.HasPrefix(pkg, "crypto/") || strings.HasPrefix(pkg, "hash/")
+	}
+	return analysis.HasWriteMethod(recv)
+}

@@ -1,0 +1,12 @@
+package detrange_test
+
+import (
+	"testing"
+
+	"lancet/internal/analysis/analysistest"
+	"lancet/internal/analysis/detrange"
+)
+
+func TestDetrange(t *testing.T) {
+	analysistest.Run(t, detrange.Analyzer, "a")
+}

@@ -1,0 +1,100 @@
+// Package a is the detrange fixture: map ranges that feed output or
+// identity sinks are flagged; accumulation and the collect-sort-emit
+// idiom are not.
+package a
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+func printAll(m map[string]int) {
+	for k, v := range m { // want `formats output with fmt`
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+func encodeAll(m map[string]int) {
+	enc := json.NewEncoder(os.Stdout)
+	for k := range m { // want `JSON-encodes`
+		_ = enc.Encode(k)
+	}
+}
+
+func marshalValues(m map[string]int) [][]byte {
+	var out [][]byte
+	for _, v := range m { // want `JSON-encodes`
+		b, _ := json.Marshal(v)
+		out = append(out, b)
+	}
+	return out
+}
+
+func fingerprint(m map[string]string) [32]byte {
+	h := sha256.New()
+	for k, v := range m { // want `writes through an io.Writer`
+		h.Write([]byte(k))
+		h.Write([]byte(v))
+	}
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+func cacheKey(m map[string]int) string {
+	var b strings.Builder
+	for k := range m { // want `writes through an io.Writer`
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+func sumPerKey(m map[string]int) {
+	h := sha256.New()
+	for range m { // want `writes through an io.Writer`
+		_ = h.Sum(nil)
+	}
+}
+
+func emit(k string) {
+	fmt.Println(k)
+}
+
+func viaHelper(m map[string]int) {
+	for k := range m { // want `calls emit, which writes output`
+		emit(k)
+	}
+}
+
+// sum only accumulates: order-insensitive, not flagged.
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// sorted is the blessed idiom: the map range only collects keys; the sink
+// sits in the loop over the sorted slice.
+func sorted(m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Println(k, m[k])
+	}
+}
+
+// sliceRange ranges a slice, not a map: never flagged.
+func sliceRange(xs []int) {
+	for _, v := range xs {
+		fmt.Println(v)
+	}
+}

@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Directive grammar (DESIGN.md §15):
+//
+//	//lancet:hotpath    — on a function: its body must not allocate
+//	                      (hotalloc); on its own line or in the package
+//	                      doc: every function in the file is hot.
+//	//lancet:alloc-ok   — on a function in hot scope: exempt (setup,
+//	                      scratch growth, one-time lazy construction).
+//	//lint:ignore <analyzer> <reason> — suppress that analyzer's findings
+//	                      on the directive's line and the line below. The
+//	                      reason is mandatory: an unexplained suppression
+//	                      is itself a finding.
+const (
+	DirectiveHotpath = "//lancet:hotpath"
+	DirectiveAllocOK = "//lancet:alloc-ok"
+	directiveIgnore  = "//lint:ignore"
+)
+
+// HasDirective reports whether the comment group contains the directive as
+// a standalone line (exact prefix match up to trailing commentary).
+func HasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if text := strings.TrimSpace(c.Text); text == directive ||
+			strings.HasPrefix(text, directive+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// FileHotpath reports whether the file is annotated //lancet:hotpath at
+// file level: in the package doc or in a standalone comment group (one not
+// serving as any declaration's doc comment).
+func FileHotpath(f *ast.File) bool {
+	if HasDirective(f.Doc, DirectiveHotpath) {
+		return true
+	}
+	attached := make(map[*ast.CommentGroup]bool)
+	attached[f.Doc] = true
+	for _, d := range f.Decls {
+		switch d := d.(type) {
+		case *ast.FuncDecl:
+			attached[d.Doc] = true
+		case *ast.GenDecl:
+			attached[d.Doc] = true
+			for _, s := range d.Specs {
+				switch s := s.(type) {
+				case *ast.TypeSpec:
+					attached[s.Doc] = true
+				case *ast.ValueSpec:
+					attached[s.Doc] = true
+				case *ast.ImportSpec:
+					attached[s.Doc] = true
+				}
+			}
+		}
+	}
+	for _, g := range f.Comments {
+		if !attached[g] && HasDirective(g, DirectiveHotpath) {
+			return true
+		}
+	}
+	return false
+}
+
+// ignoreSet records //lint:ignore directives by (file, line, analyzer).
+type ignoreSet map[ignoreKey]bool
+
+type ignoreKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// ignoreDirectives collects every well-formed //lint:ignore directive in
+// the package. A directive needs an analyzer name and a reason; malformed
+// ones are simply not directives (the finding they meant to silence
+// survives, which is the failure mode that gets noticed).
+func ignoreDirectives(pkg *Package) ignoreSet {
+	set := make(ignoreSet)
+	for _, f := range pkg.Files {
+		for _, g := range f.Comments {
+			for _, c := range g.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, directiveIgnore+" ") {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(text, directiveIgnore))
+				if len(fields) < 2 { // analyzer + at least one word of reason
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				set[ignoreKey{pos.Filename, pos.Line, fields[0]}] = true
+			}
+		}
+	}
+	return set
+}
+
+// suppresses reports whether a directive covers the diagnostic: same
+// analyzer, same file, on the diagnostic's line (trailing comment) or the
+// line above (standalone comment).
+func (s ignoreSet) suppresses(d Diagnostic) bool {
+	return s[ignoreKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] ||
+		s[ignoreKey{d.Pos.Filename, d.Pos.Line - 1, d.Analyzer}]
+}

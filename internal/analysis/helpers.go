@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Callee resolves a call's static callee to its function object (package
+// function or method), or nil for builtins, conversions, function-typed
+// variables and other dynamic calls.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		// Package-qualified call: fmt.Sprintf, atomic.AddInt64, ...
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// IsPkgFunc reports whether fn is one of the named package-level functions
+// or methods of the package with the given import path.
+func IsPkgFunc(fn *types.Func, pkgPath string, names ...string) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	for _, n := range names {
+		if fn.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// IsBuiltin reports whether the call invokes the named universe builtin
+// (make, new, append, ...).
+func IsBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// ReceiverOf returns the static type of a method call's receiver
+// expression, or nil if the call is not a method call.
+func ReceiverOf(info *types.Info, call *ast.CallExpr) types.Type {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	if _, isSel := info.Selections[sel]; !isSel {
+		return nil // package-qualified, not a method
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok {
+		return nil
+	}
+	return tv.Type
+}
+
+// HasWriteMethod reports whether t (or *t) has a Write([]byte) (int, error)
+// method — the structural io.Writer check, evaluated without needing the
+// io package's type in scope.
+func HasWriteMethod(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	obj, _, _ := types.LookupFieldOrMethod(t, true, nil, "Write")
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params().Len() != 1 || sig.Results().Len() != 2 {
+		return false
+	}
+	sl, ok := sig.Params().At(0).Type().Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	if b, okb := sl.Elem().Underlying().(*types.Basic); !okb || b.Kind() != types.Byte {
+		return false
+	}
+	if b, okb := sig.Results().At(0).Type().Underlying().(*types.Basic); !okb || b.Kind() != types.Int {
+		return false
+	}
+	return types.Identical(sig.Results().At(1).Type(), types.Universe.Lookup("error").Type())
+}
+
+// NamedPath returns the defining package path and type name of t after
+// stripping pointers, or ("", "") for unnamed types.
+func NamedPath(t types.Type) (pkgPath, name string) {
+	for {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		if ok && n.Obj().Pkg() == nil { // universe types like error
+			return "", n.Obj().Name()
+		}
+		return "", ""
+	}
+	return n.Obj().Pkg().Path(), n.Obj().Name()
+}

@@ -1,0 +1,320 @@
+// Package hotalloc enforces the zero-steady-state-allocation contract of
+// the planner hot path (DESIGN.md §13) at compile time, complementing the
+// runtime AllocsPerRun pins and the perf ratchet. Functions under a
+// //lancet:hotpath annotation (on the function, or file-wide via a
+// standalone comment) must not contain allocating constructs; functions
+// marked //lancet:alloc-ok — pool refills, scratch growth, lazy one-time
+// construction — are exempt.
+//
+// Flagged inside hot scope:
+//   - make, new
+//   - map and slice composite literals
+//   - append, except the amortized-reuse shapes x = append(x, ...) and
+//     append(s[i:j], ...) that grow pooled scratch in place
+//   - fmt.Sprintf and the rest of the fmt formatting family
+//   - string concatenation and string<->[]byte conversions
+//   - boxing a concrete non-pointer value into an interface
+//   - closures that escape (stored, returned, or sent — a func literal
+//     that stays local compiles to a stack closure and is fine)
+//
+// Error construction (fmt.Errorf, errors.New) is deliberately exempt:
+// failure paths are cold by definition, and hot functions still validate.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"lancet/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc: "flags allocating constructs in //lancet:hotpath functions outside //lancet:alloc-ok exemptions\n\n" +
+		"The planner hot path holds a zero-allocation steady state (DESIGN.md §13);\n" +
+		"this rule fails the build when a diff reintroduces make/new/literals/append/\n" +
+		"Sprintf/boxing/escaping closures into annotated hot code, instead of waiting\n" +
+		"for the runtime AllocsPerRun pin to trip.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		fileHot := analysis.FileHotpath(f)
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if analysis.HasDirective(fd.Doc, analysis.DirectiveAllocOK) {
+				continue
+			}
+			if fileHot || analysis.HasDirective(fd.Doc, analysis.DirectiveHotpath) {
+				check(pass, fd.Body)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// checker carries the per-body state of one hot-function walk.
+type checker struct {
+	pass *analysis.Pass
+	// allowed marks append calls excused by the x = append(x, ...)
+	// shape. Populated when the enclosing assignment is visited
+	// (parents are visited before children), consumed in checkCall.
+	allowed map[*ast.CallExpr]bool
+}
+
+// check reports every allocating construct in one hot function body.
+func check(pass *analysis.Pass, body ast.Node) {
+	c := &checker{pass: pass, allowed: make(map[*ast.CallExpr]bool)}
+	info := pass.TypesInfo
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			tv, ok := info.Types[n]
+			if !ok {
+				return true
+			}
+			switch tv.Type.Underlying().(type) {
+			case *types.Map:
+				pass.Reportf(n.Pos(), "map literal allocates in a //lancet:hotpath function")
+			case *types.Slice:
+				pass.Reportf(n.Pos(), "slice literal allocates in a //lancet:hotpath function")
+			}
+
+		case *ast.AssignStmt:
+			// x = append(x, ...) with an identical lvalue is the
+			// amortized scratch-growth idiom: mark the call allowed
+			// before Inspect descends into it.
+			if len(n.Lhs) == 1 && len(n.Rhs) == 1 {
+				if call, ok := n.Rhs[0].(*ast.CallExpr); ok &&
+					analysis.IsBuiltin(info, call, "append") && len(call.Args) > 0 &&
+					types.ExprString(n.Lhs[0]) == types.ExprString(call.Args[0]) {
+					c.allowed[call] = true
+				}
+			}
+
+		case *ast.CallExpr:
+			c.checkCall(n)
+
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if tv, ok := info.Types[n]; ok {
+					if b, okb := tv.Type.Underlying().(*types.Basic); okb && b.Info()&types.IsString != 0 {
+						pass.Reportf(n.Pos(), "string concatenation allocates in a //lancet:hotpath function")
+					}
+				}
+			}
+
+		case *ast.FuncLit:
+			if escapes(n, body) {
+				pass.Reportf(n.Pos(), "escaping closure allocates in a //lancet:hotpath function")
+			}
+		}
+		return true
+	})
+}
+
+func (c *checker) checkCall(call *ast.CallExpr) {
+	pass := c.pass
+	info := pass.TypesInfo
+	switch {
+	case analysis.IsBuiltin(info, call, "make"):
+		pass.Reportf(call.Pos(), "make allocates in a //lancet:hotpath function")
+		return
+	case analysis.IsBuiltin(info, call, "new"):
+		pass.Reportf(call.Pos(), "new allocates in a //lancet:hotpath function")
+		return
+	case analysis.IsBuiltin(info, call, "append"):
+		if c.allowed[call] {
+			return
+		}
+		if len(call.Args) > 0 {
+			if _, reslice := ast.Unparen(call.Args[0]).(*ast.SliceExpr); reslice {
+				// append(buf[:0], ...) reuses existing backing storage.
+				return
+			}
+		}
+		pass.Reportf(call.Pos(), "append outside the x = append(x, ...) scratch idiom may allocate in a //lancet:hotpath function")
+		return
+	}
+
+	fn := analysis.Callee(info, call)
+	if analysis.IsPkgFunc(fn, "fmt", "Errorf") || analysis.IsPkgFunc(fn, "errors", "New") {
+		return // cold failure path by policy
+	}
+	if analysis.IsPkgFunc(fn, "fmt",
+		"Sprint", "Sprintln", "Sprintf",
+		"Print", "Println", "Printf",
+		"Fprint", "Fprintln", "Fprintf",
+		"Append", "Appendln", "Appendf") {
+		pass.Reportf(call.Pos(), "fmt.%s allocates in a //lancet:hotpath function", fn.Name())
+		return
+	}
+
+	// Conversions: string <-> []byte copy, and boxing into an interface.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst := tv.Type
+		src, okArg := info.Types[call.Args[0]]
+		if !okArg {
+			return
+		}
+		if isStringByteConv(dst, src.Type) {
+			pass.Reportf(call.Pos(), "string/[]byte conversion copies and allocates in a //lancet:hotpath function")
+			return
+		}
+		if boxes(dst, src.Type) {
+			pass.Reportf(call.Pos(), "conversion to interface boxes a concrete value in a //lancet:hotpath function")
+		}
+		return
+	}
+
+	// Implicit boxing at the call boundary: a concrete non-pointer
+	// argument for an interface-typed (incl. variadic ...any) parameter.
+	sig, ok := typeAsSignature(info, call)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		pt := paramType(sig, i)
+		if pt == nil {
+			continue
+		}
+		at, okArg := info.Types[arg]
+		if !okArg || at.IsNil() {
+			continue
+		}
+		if boxes(pt, at.Type) {
+			pass.Reportf(arg.Pos(), "passing a concrete value as %s boxes it in a //lancet:hotpath function", pt.String())
+		}
+	}
+}
+
+// typeAsSignature resolves the call's function type.
+func typeAsSignature(info *types.Info, call *ast.CallExpr) (*types.Signature, bool) {
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return nil, false
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	return sig, ok
+}
+
+// paramType returns the declared type of argument i, unrolling variadics
+// to their element type, or nil when out of range.
+func paramType(sig *types.Signature, i int) types.Type {
+	n := sig.Params().Len()
+	if n == 0 {
+		return nil
+	}
+	if sig.Variadic() && i >= n-1 {
+		if sl, ok := sig.Params().At(n - 1).Type().(*types.Slice); ok {
+			return sl.Elem()
+		}
+		return nil
+	}
+	if i >= n {
+		return nil
+	}
+	return sig.Params().At(i).Type()
+}
+
+// boxes reports whether assigning a src value to a dst-typed slot heap-boxes
+// it: dst is an interface and src is a concrete non-pointer type (pointers
+// and other word-sized references ride in the interface data word directly).
+func boxes(dst, src types.Type) bool {
+	if _, isTP := dst.(*types.TypeParam); isTP {
+		return false // a type parameter instantiates concretely
+	}
+	if _, isIface := dst.Underlying().(*types.Interface); !isIface {
+		return false
+	}
+	if src == nil {
+		return false
+	}
+	switch src.Underlying().(type) {
+	case *types.Interface, *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false
+	}
+	return true
+}
+
+// isStringByteConv reports a string <-> []byte (or []rune) conversion.
+func isStringByteConv(dst, src types.Type) bool {
+	isStr := func(t types.Type) bool {
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsString != 0
+	}
+	isByteSlice := func(t types.Type) bool {
+		sl, ok := t.Underlying().(*types.Slice)
+		if !ok {
+			return false
+		}
+		b, ok := sl.Elem().Underlying().(*types.Basic)
+		return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune)
+	}
+	return (isStr(dst) && isByteSlice(src)) || (isByteSlice(dst) && isStr(src))
+}
+
+// escapes reports whether a func literal's value leaves the local frame:
+// returned, stored into anything, sent on a channel, or used as a composite
+// literal element. Direct calls and plain local `f := func(){...}` bindings
+// compile to stack closures and do not allocate.
+func escapes(lit *ast.FuncLit, body ast.Node) bool {
+	escaping := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if escaping {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if containsLit(r, lit) {
+					escaping = true
+				}
+			}
+		case *ast.AssignStmt:
+			for i, r := range n.Rhs {
+				if !containsLit(r, lit) {
+					continue
+				}
+				// Assignment to a plain local identifier keeps the
+				// closure on the stack; any other lvalue stores it.
+				if i < len(n.Lhs) {
+					if _, isIdent := ast.Unparen(n.Lhs[i]).(*ast.Ident); isIdent {
+						continue
+					}
+				}
+				escaping = true
+			}
+		case *ast.SendStmt:
+			if containsLit(n.Value, lit) {
+				escaping = true
+			}
+		case *ast.CompositeLit:
+			for _, e := range n.Elts {
+				if kv, ok := e.(*ast.KeyValueExpr); ok {
+					e = kv.Value
+				}
+				if ast.Unparen(e) == lit {
+					escaping = true
+				}
+			}
+		case *ast.GoStmt:
+			// A goroutine body escapes to the new stack by definition.
+			if containsLit(n.Call.Fun, lit) {
+				escaping = true
+			}
+		}
+		return !escaping
+	})
+	return escaping
+}
+
+// containsLit reports whether expr is (modulo parens) the literal itself.
+func containsLit(expr ast.Expr, lit *ast.FuncLit) bool {
+	return ast.Unparen(expr) == lit
+}

@@ -1,0 +1,128 @@
+// Package a is the hotalloc fixture: allocating constructs inside
+// //lancet:hotpath functions are flagged; the amortized scratch idioms,
+// error construction, and cold functions are not.
+package a
+
+import "fmt"
+
+type scratch struct {
+	buf []int
+}
+
+//lancet:hotpath
+func hotMake(n int) []int {
+	return make([]int, n) // want `make allocates`
+}
+
+//lancet:hotpath
+func hotNew() *int {
+	return new(int) // want `new allocates`
+}
+
+//lancet:hotpath
+func hotMapLit() map[string]int {
+	return map[string]int{"a": 1} // want `map literal allocates`
+}
+
+//lancet:hotpath
+func hotSliceLit() []int {
+	return []int{1, 2, 3} // want `slice literal allocates`
+}
+
+//lancet:hotpath
+func hotBadAppend(dst, src []int) []int {
+	out := append(dst, src...) // want `append outside the x = append\(x, \.\.\.\) scratch idiom`
+	return out
+}
+
+//lancet:hotpath
+func hotSprintf(a string, b int) string {
+	return fmt.Sprintf("%s/%d", a, b) // want `fmt\.Sprintf allocates`
+}
+
+//lancet:hotpath
+func hotConcat(a, b string) string {
+	return a + b // want `string concatenation allocates`
+}
+
+//lancet:hotpath
+func hotConv(b []byte) string {
+	return string(b) // want `conversion copies and allocates`
+}
+
+//lancet:hotpath
+func hotBox(v int) any {
+	return any(v) // want `boxes a concrete value`
+}
+
+//lancet:hotpath
+func hotImplicitBox(v int) {
+	sink(v) // want `boxes it`
+}
+
+//lancet:hotpath
+func hotEscape() func() int {
+	x := 0
+	return func() int { // want `escaping closure allocates`
+		x++
+		return x
+	}
+}
+
+// --- Not flagged below this line. ---
+
+//lancet:hotpath
+func goodAppend(sc *scratch, v int) {
+	sc.buf = append(sc.buf, v)
+}
+
+//lancet:hotpath
+func goodReslice(buf, xs []int) []int {
+	return append(buf[:0], xs...)
+}
+
+//lancet:hotpath
+func goodErrorPath(n int) error {
+	if n < 0 {
+		return fmt.Errorf("negative: %d", n)
+	}
+	return nil
+}
+
+//lancet:hotpath
+func goodLocalClosure(xs []int) int {
+	total := 0
+	add := func(v int) { total += v }
+	for _, v := range xs {
+		add(v)
+	}
+	return total
+}
+
+//lancet:hotpath
+func goodPointerArg(p *int) {
+	sink(p)
+}
+
+//lancet:hotpath
+func suppressed() []int {
+	//lint:ignore hotalloc one-time refill measured cold in the pool path
+	return make([]int, 8)
+}
+
+//lancet:hotpath
+func unexplainedSuppression() []int {
+	//lint:ignore hotalloc
+	return make([]int, 8) // want `make allocates`
+}
+
+//lancet:alloc-ok
+func setup(n int) *scratch {
+	return &scratch{buf: make([]int, 0, n)}
+}
+
+func cold(n int) []int {
+	return make([]int, n)
+}
+
+func sink(v any) { _ = v }

@@ -1,0 +1,40 @@
+package a
+
+type holder struct {
+	fn func() int
+}
+
+//lancet:hotpath
+func hotStoreField(h *holder) {
+	h.fn = func() int { return 1 } // want `escaping closure allocates`
+}
+
+//lancet:hotpath
+func hotSendClosure(ch chan func() int) {
+	ch <- func() int { return 2 } // want `escaping closure allocates`
+}
+
+//lancet:hotpath
+func hotCompositeClosure() holder {
+	return holder{fn: func() int { return 3 }} // want `escaping closure allocates`
+}
+
+//lancet:hotpath
+func hotGoClosure() {
+	go func() {}() // want `escaping closure allocates`
+}
+
+//lancet:hotpath
+func hotVariadicBox(a, b, c int) {
+	variadicSink(a, b, c) // want `boxes it` `boxes it` `boxes it`
+}
+
+//lancet:hotpath
+func hotNonBoxingRefs(ch chan int, m map[string]int, f func(), p *holder) {
+	sink(ch)
+	sink(m)
+	sink(f)
+	sink(p)
+}
+
+func variadicSink(vs ...any) { _ = vs }

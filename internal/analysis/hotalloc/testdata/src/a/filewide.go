@@ -1,0 +1,23 @@
+package a
+
+// Everything in this file is hot: the directive below stands alone, so it
+// applies file-wide rather than to one function.
+//
+//lancet:hotpath
+
+func fileHotMake(n int) []byte {
+	return make([]byte, n) // want `make allocates`
+}
+
+func fileHotClean(xs []int) int {
+	total := 0
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}
+
+//lancet:alloc-ok
+func fileExempt(n int) []byte {
+	return make([]byte, n)
+}

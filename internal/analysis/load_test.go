@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"go/ast"
+	"strings"
+	"testing"
+)
+
+// probe exercises the helper surface over the framework's own fixture:
+// callee resolution, builtin detection, receiver typing and the
+// structural io.Writer check.
+var probe = &Analyzer{
+	Name: "probe",
+	Doc:  "reports fmt.Sprint calls, make calls, and writer-method calls",
+	Run: func(p *Pass) (any, error) {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := Callee(p.TypesInfo, call)
+				if IsPkgFunc(fn, "fmt", "Sprint") {
+					p.Reportf(call.Pos(), "fmt.Sprint call")
+				}
+				if IsBuiltin(p.TypesInfo, call, "make") {
+					p.Reportf(call.Pos(), "make call")
+				}
+				if recv := ReceiverOf(p.TypesInfo, call); recv != nil && HasWriteMethod(recv) {
+					pkgPath, name := NamedPath(recv)
+					p.Reportf(call.Pos(), "writer method on %s.%s", pkgPath, name)
+				}
+				return true
+			})
+		}
+		return "probe-value", nil
+	},
+}
+
+func TestLoadAndRunAnalyzers(t *testing.T) {
+	pkgs, err := Load(".", "./testdata/src/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if !strings.HasSuffix(pkg.ImportPath, "testdata/src/a") {
+		t.Errorf("import path %q does not end in testdata/src/a", pkg.ImportPath)
+	}
+	if pkg.Types == nil || pkg.TypesInfo == nil || len(pkg.Files) == 0 {
+		t.Fatal("package loaded without types or files")
+	}
+
+	res, err := RunAnalyzers(pkg, []*Analyzer{probe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := res.Values["probe"].(string); !ok || v != "probe-value" {
+		t.Errorf("analyzer value = %v, want probe-value", res.Values["probe"])
+	}
+
+	counts := map[string]int{}
+	for _, d := range res.Diagnostics {
+		counts[d.Message]++
+		if d.Analyzer != "probe" {
+			t.Errorf("diagnostic attributed to %q, want probe", d.Analyzer)
+		}
+	}
+	want := map[string]int{
+		// show's call only: shown's is suppressed by //lint:ignore.
+		"fmt.Sprint call": 1,
+		"make call":       1,
+		// Two strings.Builder writes plus its String() call — the probe
+		// keys on the receiver type, not the method — and one
+		// bytes.Buffer write.
+		"writer method on strings.Builder": 3,
+		"writer method on bytes.Buffer":    1,
+	}
+	for msg, n := range want {
+		if counts[msg] != n {
+			t.Errorf("diagnostic %q: got %d, want %d", msg, counts[msg], n)
+		}
+	}
+	if len(res.Diagnostics) != 6 {
+		t.Errorf("total diagnostics: got %d, want 6:\n%v", len(res.Diagnostics), res.Diagnostics)
+	}
+	for i := 1; i < len(res.Diagnostics); i++ {
+		if res.Diagnostics[i].Pos.Line < res.Diagnostics[i-1].Pos.Line {
+			t.Errorf("diagnostics not sorted by line: %v", res.Diagnostics)
+		}
+	}
+}
+
+func TestRunAnalyzersPropagatesErrors(t *testing.T) {
+	pkgs, err := Load(".", "./testdata/src/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	failing := &Analyzer{
+		Name: "failing",
+		Doc:  "always errors",
+		Run:  func(*Pass) (any, error) { return nil, fmt.Errorf("wrapped: %w", boom) },
+	}
+	if _, err := RunAnalyzers(pkgs[0], []*Analyzer{failing}); !errors.Is(err, boom) {
+		t.Errorf("RunAnalyzers error = %v, want wrapped boom", err)
+	}
+}

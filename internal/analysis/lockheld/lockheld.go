@@ -1,0 +1,249 @@
+// Package lockheld flags blocking operations performed while a sync.Mutex
+// or sync.RWMutex is held: channel sends/receives, selects,
+// sync.WaitGroup.Wait-style waits, sleeps, and filesystem/network/process
+// I/O. A lock region should be a short critical section over in-memory
+// state (the service and disk-store layers are the motivating targets:
+// holding the store lock across an fsync or a singleflight wait turns one
+// slow request into a pile-up). The region is tracked linearly: from the
+// Lock() statement to the matching Unlock() in the same block, or — for
+// the lock-then-defer-unlock idiom — to the end of the block.
+//
+// Goroutine bodies launched inside the region are not scanned: they run
+// without the caller's lock. sync.Cond.Wait is exempt — it requires the
+// lock by contract.
+package lockheld
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"lancet/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockheld",
+	Doc: "flags channel operations, waits, sleeps and I/O performed while a mutex is held\n\n" +
+		"A critical section that sends on a channel, waits, sleeps or performs\n" +
+		"file/network I/O serializes every contender behind the slowest operation\n" +
+		"and deadlocks under reentry; move the blocking work outside the lock.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				scanBlock(pass, fd.Body.List, nil)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// lockRegion is one held mutex: the printed receiver expression ("s.mu")
+// and whether the region runs to the end of the block (deferred unlock).
+type lockRegion struct {
+	recv string
+	rw   bool
+}
+
+// scanBlock walks one statement list tracking which mutexes are held, and
+// recurses into nested blocks with the currently-held set. held is
+// append-only per recursion level; a matching Unlock pops its entry.
+func scanBlock(pass *analysis.Pass, stmts []ast.Stmt, held []lockRegion) {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if recv, kind, ok := mutexCall(pass.TypesInfo, s.X); ok {
+				switch kind {
+				case "Lock", "RLock":
+					held = append(held, lockRegion{recv: recv, rw: kind == "RLock"})
+					continue
+				case "Unlock", "RUnlock":
+					for i := len(held) - 1; i >= 0; i-- {
+						if held[i].recv == recv {
+							held = append(held[:i:i], held[i+1:]...)
+							break
+						}
+					}
+					continue
+				}
+			}
+		case *ast.DeferStmt:
+			// defer mu.Unlock() keeps the region open to block end; the
+			// defer itself is not a blocking op.
+			if _, _, ok := mutexCall(pass.TypesInfo, s.Call); ok {
+				continue
+			}
+		}
+		if len(held) > 0 {
+			checkStmt(pass, stmt, held)
+		}
+		// Recurse into compound statements so a Lock inside an if/for
+		// arm is tracked with its own inner region.
+		switch s := stmt.(type) {
+		case *ast.IfStmt:
+			for ifs := s; ifs != nil; {
+				scanBlock(pass, ifs.Body.List, held)
+				switch e := ifs.Else.(type) {
+				case *ast.BlockStmt:
+					scanBlock(pass, e.List, held)
+					ifs = nil
+				case *ast.IfStmt:
+					ifs = e
+				default:
+					ifs = nil
+				}
+			}
+		case *ast.ForStmt:
+			scanBlock(pass, s.Body.List, held)
+		case *ast.RangeStmt:
+			scanBlock(pass, s.Body.List, held)
+		case *ast.BlockStmt:
+			scanBlock(pass, s.List, held)
+		case *ast.SwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					scanBlock(pass, cc.Body, held)
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					scanBlock(pass, cc.Body, held)
+				}
+			}
+		}
+	}
+}
+
+// checkStmt reports blocking operations in stmt (not descending into
+// nested blocks — scanBlock recurses into those itself with region
+// tracking — nor into goroutine bodies, which run unlocked).
+func checkStmt(pass *analysis.Pass, stmt ast.Stmt, held []lockRegion) {
+	switch stmt.(type) {
+	case *ast.IfStmt, *ast.ForStmt, *ast.RangeStmt, *ast.BlockStmt,
+		*ast.SwitchStmt, *ast.TypeSwitchStmt:
+		// Headers only; bodies are handled by scanBlock's recursion.
+		// Conditions/iterables of these rarely block; skip to keep the
+		// region bookkeeping single-sourced.
+		return
+	}
+	lock := held[len(held)-1].recv
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // runs later and/or elsewhere
+		case *ast.GoStmt:
+			return false // runs without this goroutine's lock
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "channel send while %s is held", lock)
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				pass.Reportf(n.Pos(), "channel receive while %s is held", lock)
+				return false
+			}
+		case *ast.SelectStmt:
+			pass.Reportf(n.Pos(), "select while %s is held", lock)
+			return false
+		case *ast.CallExpr:
+			if what := blockingCall(pass.TypesInfo, n); what != "" {
+				pass.Reportf(n.Pos(), "%s while %s is held", what, lock)
+			}
+		}
+		return true
+	})
+}
+
+// mutexCall matches expr as a Lock/RLock/Unlock/RUnlock call on a
+// sync.Mutex or sync.RWMutex (directly or through embedding) and returns
+// the printed receiver plus the method name.
+func mutexCall(info *types.Info, expr ast.Expr) (recv, kind string, ok bool) {
+	call, isCall := ast.Unparen(expr).(*ast.CallExpr)
+	if !isCall {
+		return "", "", false
+	}
+	fn := analysis.Callee(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	switch fn.Name() {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	sig, isSig := fn.Type().(*types.Signature)
+	if !isSig || sig.Recv() == nil {
+		return "", "", false
+	}
+	if _, name := analysis.NamedPath(sig.Recv().Type()); name != "Mutex" && name != "RWMutex" {
+		return "", "", false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), fn.Name(), true
+}
+
+// blockingCall classifies a call as a wait, sleep, or I/O operation, and
+// returns a description ("" when benign).
+func blockingCall(info *types.Info, call *ast.CallExpr) string {
+	fn := analysis.Callee(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	pkg, name := fn.Pkg().Path(), fn.Name()
+	recvNamed := ""
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		_, recvNamed = analysis.NamedPath(sig.Recv().Type())
+	}
+	switch pkg {
+	case "sync":
+		if name == "Wait" && recvNamed == "WaitGroup" {
+			return "sync.WaitGroup.Wait"
+		}
+	case "time":
+		if name == "Sleep" {
+			return "time.Sleep"
+		}
+	case "os":
+		switch name {
+		case "Open", "OpenFile", "Create", "CreateTemp", "ReadFile", "WriteFile",
+			"Remove", "RemoveAll", "Rename", "Mkdir", "MkdirAll", "MkdirTemp",
+			"ReadDir", "Stat", "Lstat", "Truncate", "Symlink", "Link",
+			"Chmod", "Chtimes", "Chown":
+			return "os." + name
+		}
+		if recvNamed == "File" {
+			switch name {
+			case "Read", "ReadAt", "Write", "WriteAt", "WriteString",
+				"Sync", "Close", "Seek", "Stat", "Truncate", "ReadDir", "Readdirnames":
+				return "os.File." + name
+			}
+		}
+	case "os/exec":
+		switch name {
+		case "Run", "Output", "CombinedOutput", "Start", "Wait":
+			return "os/exec." + name
+		}
+	case "net":
+		switch name {
+		case "Dial", "DialTimeout", "Listen", "ListenPacket", "LookupHost", "LookupAddr":
+			return "net." + name
+		}
+	case "net/http":
+		switch name {
+		case "Get", "Post", "PostForm", "Head", "Do":
+			return "net/http." + name
+		}
+	case "io":
+		switch name {
+		case "Copy", "CopyN", "ReadAll":
+			return "io." + name
+		}
+	}
+	return ""
+}

@@ -1,0 +1,12 @@
+package lockheld_test
+
+import (
+	"testing"
+
+	"lancet/internal/analysis/analysistest"
+	"lancet/internal/analysis/lockheld"
+)
+
+func TestLockHeld(t *testing.T) {
+	analysistest.Run(t, lockheld.Analyzer, "a")
+}

@@ -1,0 +1,107 @@
+// Package a is the lockheld fixture: blocking operations inside a held
+// mutex region are flagged; work after the unlock, goroutine bodies, and
+// sync.Cond.Wait are not.
+package a
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+type store struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	m  map[string]int
+	ch chan int
+}
+
+func (s *store) sendLocked() {
+	s.mu.Lock()
+	s.ch <- 1 // want `channel send while s\.mu is held`
+	s.mu.Unlock()
+}
+
+func (s *store) recvLocked() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	<-s.ch // want `channel receive while s\.mu is held`
+}
+
+func (s *store) selectLocked() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want `select while s\.mu is held`
+	case v := <-s.ch:
+		_ = v
+	default:
+	}
+}
+
+func (s *store) sleepDeferred() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep while s\.mu is held`
+}
+
+func (s *store) fileUnderRLock(path string) error {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	_, err := os.ReadFile(path) // want `os\.ReadFile while s\.rw is held`
+	return err
+}
+
+func (s *store) waitLocked(wg *sync.WaitGroup) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	wg.Wait() // want `sync\.WaitGroup\.Wait while s\.mu is held`
+}
+
+func (s *store) nestedIf(flag bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if flag {
+		time.Sleep(time.Millisecond) // want `time\.Sleep while s\.mu is held`
+	}
+}
+
+// --- Not flagged below this line. ---
+
+func (s *store) afterUnlock() {
+	s.mu.Lock()
+	s.m["k"] = 1
+	s.mu.Unlock()
+	s.ch <- 1
+}
+
+func (s *store) goroutineBody() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		time.Sleep(time.Millisecond)
+	}()
+}
+
+func (s *store) condWait(c *sync.Cond) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c.Wait()
+}
+
+type guarded struct {
+	sync.Mutex
+	n int
+}
+
+func (g *guarded) sleepEmbedded() {
+	g.Lock()
+	defer g.Unlock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep while g is held`
+}
+
+func (g *guarded) quick() {
+	g.Lock()
+	g.n++
+	g.Unlock()
+	time.Sleep(time.Millisecond)
+}

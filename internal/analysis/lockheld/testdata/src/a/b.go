@@ -1,0 +1,68 @@
+package a
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"time"
+)
+
+// ioUnderLock covers the process/network/stream I/O classifications.
+func (s *store) ioUnderLock(addr string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_ = exec.Command("true").Run()    // want `os/exec\.Run while s\.mu is held`
+	_, _ = net.Dial("tcp", addr)      // want `net\.Dial while s\.mu is held`
+	_, _ = http.Get("http://" + addr) // want `net/http\.Get while s\.mu is held`
+	_, _ = io.ReadAll(os.Stdin)       // want `io\.ReadAll while s\.mu is held`
+	f, _ := os.Open("x")              // want `os\.Open while s\.mu is held`
+	_ = f.Sync()                      // want `os\.File\.Sync while s\.mu is held`
+}
+
+// branches covers region tracking through if/else-if/else arms.
+func (s *store) branches(flag, other bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if flag {
+		time.Sleep(time.Millisecond) // want `time\.Sleep while s\.mu is held`
+	} else if other {
+		<-s.ch // want `channel receive while s\.mu is held`
+	} else {
+		s.ch <- 2 // want `channel send while s\.mu is held`
+	}
+}
+
+// loopsAndSwitches covers region tracking through loop and switch bodies,
+// including locks taken inside a loop iteration.
+func (s *store) loopsAndSwitches(mode int, keys []string) {
+	for i := 0; i < len(keys); i++ {
+		s.mu.Lock()
+		time.Sleep(time.Millisecond) // want `time\.Sleep while s\.mu is held`
+		s.mu.Unlock()
+	}
+	for range keys {
+		s.mu.Lock()
+		s.ch <- 3 // want `channel send while s\.mu is held`
+		s.mu.Unlock()
+	}
+	switch mode {
+	case 1:
+		s.mu.Lock()
+		<-s.ch // want `channel receive while s\.mu is held`
+		s.mu.Unlock()
+	}
+	var v any = mode
+	switch v.(type) {
+	case int:
+		s.mu.Lock()
+		s.ch <- 4 // want `channel send while s\.mu is held`
+		s.mu.Unlock()
+	}
+	{
+		s.mu.Lock()
+		time.Sleep(time.Millisecond) // want `time\.Sleep while s\.mu is held`
+		s.mu.Unlock()
+	}
+}

@@ -1,0 +1,47 @@
+// Package a is the framework's own fixture, loaded by the in-package
+// loader and helper tests.
+package a
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+)
+
+type wrapper struct {
+	buf bytes.Buffer
+}
+
+func concat(a, b string) string {
+	var sb strings.Builder
+	sb.WriteString(a)
+	sb.WriteString(b)
+	return sb.String()
+}
+
+func show(v int) string {
+	return fmt.Sprint(v)
+}
+
+func shown() string {
+	//lint:ignore probe covered by the direct call in show
+	return fmt.Sprint(2)
+}
+
+func build(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+func (w *wrapper) fill(s string) {
+	w.buf.WriteString(s)
+}
+
+var _ = concat
+var _ = show
+var _ = shown
+var _ = build
+var _ = (*wrapper).fill

@@ -43,6 +43,7 @@ type shard[K comparable] struct {
 	m  map[K]float64
 }
 
+//lancet:hotpath
 func (s *shard[K]) get(k K) (float64, bool) {
 	s.mu.Lock()
 	v, ok := s.m[k]
@@ -429,6 +430,8 @@ func (m *Model) groundHierarchicalUs(bytes int64, devices int, directions float6
 }
 
 // effBW models small-message bandwidth ramp-up: achieved = peak * b/(b+b0).
+//
+//lancet:hotpath
 func effBW(peakGBs, bytes float64) float64 {
 	const rampBytes = 256 * 1024
 	if bytes <= 0 {
@@ -622,6 +625,8 @@ func (p A2APricer) Profiled() bool { return p.prof != nil }
 
 // SkewedUs returns exactly what AllToAllSkewedUs(bytesPerDevice, prof)
 // would, minus the per-call cache traffic.
+//
+//lancet:hotpath
 func (p A2APricer) SkewedUs(bytesPerDevice int64) float64 {
 	if p.prof == nil {
 		return p.m.groundAllToAllUs(bytesPerDevice, p.m.Cluster.TotalGPUs())
@@ -638,6 +643,8 @@ func (p A2APricer) SkewedUs(bytesPerDevice int64) float64 {
 // PartitionedUs returns exactly what PredictA2APartitioned(bytes, devices, n)
 // would — the uniform table queried at bytes/n — without the commKey shard
 // acquisition. Used by the DP's padded-closed-form cap.
+//
+//lancet:hotpath
 func (p A2APricer) PartitionedUs(bytes int64, devices, n int) float64 {
 	if n < 1 {
 		n = 1
@@ -668,6 +675,7 @@ func (m *Model) PredictIrregularA2A(expectedBytes int64, devices int) float64 {
 		m.PredictComm(ir.OpAllToAll, expectedBytes, devices)
 }
 
+//lancet:hotpath
 func interpolate(table []commPoint, bytes int64) float64 {
 	if len(table) == 0 {
 		return 0
@@ -703,6 +711,8 @@ func interpolate(table []commPoint, bytes int64) float64 {
 // through a precomputed threshold table instead of math.Log2 — bucketSlow
 // remains the specification and the table is derived from it at init, so
 // the two agree on every int64 (asserted by TestBucketTableMatchesFormula).
+//
+//lancet:hotpath
 func bucket(v int64) int64 {
 	if v <= 0 {
 		return 0

@@ -48,6 +48,8 @@ type skewTable struct {
 // bytesPerDevice >= skewTableMinBytes (== points[0].bytes); queries beyond
 // the last point extrapolate at the final segment's slope, exactly like the
 // uniform comm tables.
+//
+//lancet:hotpath
 func (t *skewTable) lookup(bytesPerDevice int64) float64 {
 	return interpolate(t.points, bytesPerDevice)
 }

@@ -21,6 +21,12 @@ import (
 	"lancet/internal/hw"
 )
 
+// The drain loops below run inside the planner's inner DP sweep; steady
+// state must not allocate (DESIGN.md §13). Constructors and matrix
+// builders carry //lancet:alloc-ok.
+//
+//lancet:hotpath
+
 // Network simulates collectives on a cluster. The constructor precomputes
 // the per-pair tier classification and per-device tier bandwidths once, and
 // timed replays borrow their per-tier load accumulators from a sync.Pool, so
@@ -47,6 +53,8 @@ type drainScratch struct {
 // New builds a network simulator for the cluster, precomputing the pair-tier
 // index and per-device tier bandwidths (O(devices²), the cost of a single
 // drain under the previous implementation).
+//
+//lancet:alloc-ok
 func New(c hw.Cluster) *Network {
 	g := c.TotalGPUs()
 	n := &Network{Cluster: c, g: g, tier: make([]hw.Tier, g*g)}
@@ -67,6 +75,8 @@ func New(c hw.Cluster) *Network {
 }
 
 // scratch borrows a cleared drain arena from the pool.
+//
+//lancet:alloc-ok
 func (n *Network) scratch() *drainScratch {
 	if s, ok := n.pool.Get().(*drainScratch); ok {
 		clear(s.eg)
@@ -238,6 +248,8 @@ func (n *Network) AllToAllTimedArgmax(sizes [][]int64) (A2ATiming, DrainArgmax, 
 // exactly bytesPerDevice*(devices-1)/devices over the network: the diagonal
 // is zero and the integer remainder is distributed deterministically over
 // the first destinations instead of being dropped.
+//
+//lancet:alloc-ok
 func UniformMatrix(devices int, bytesPerDevice int64) [][]int64 {
 	m := make([][]int64, devices)
 	for src := range m {
@@ -270,6 +282,8 @@ func UniformMatrix(devices int, bytesPerDevice int64) [][]int64 {
 // inputs are validated up front (square matrix, non-negative counts and
 // scales) so a malformed matrix fails here instead of surfacing later as a
 // confusing index error in AllToAllUs.
+//
+//lancet:alloc-ok
 func ScaleCounts(counts [][]int, perTokenBytes int64, factor float64) ([][]int64, error) {
 	if perTokenBytes < 0 {
 		return nil, fmt.Errorf("netsim: negative perTokenBytes %d", perTokenBytes)

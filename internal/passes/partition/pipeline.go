@@ -10,6 +10,8 @@ import (
 // all-to-alls under a profiled pricer go to the link-level model's skew
 // interpolation table, everything else — and every op under uniform
 // routing — keeps the closed-form prediction path.
+//
+//lancet:hotpath
 func predictInstr(cm *cost.Model, in *ir.Instr, pr cost.A2APricer, frac float64) float64 {
 	if pr.Profiled() && in.Op == ir.OpAllToAll {
 		return a2aProfiledUs(in, 1, pr, frac)
@@ -23,6 +25,8 @@ func predictInstr(cm *cost.Model, in *ir.Instr, pr cost.A2APricer, frac float64)
 // payload, capped at the padded closed form (capacity caps every
 // (source, expert) pair, so an irregular exchange can never exceed the
 // padded one on any link).
+//
+//lancet:hotpath
 func a2aProfiledUs(in *ir.Instr, k int, pr cost.A2APricer, frac float64) float64 {
 	routed := int64(float64(in.Bytes/int64(k)) * frac)
 	t := pr.SkewedUs(routed)
@@ -85,6 +89,8 @@ func schedulePlan(window []*ir.Instr, k int) []instanceRef {
 // small kernels. tmp is caller-owned scratch for the micro-partition
 // instruction, so the hot loop allocates no copies; the cost model only
 // reads its scalar fields.
+//
+//lancet:hotpath
 func instanceDur(cm *cost.Model, in *ir.Instr, k int, pr cost.A2APricer, frac float64, tmp *ir.Instr) float64 {
 	if in.Op == ir.OpAllToAll {
 		if pr.Profiled() {
@@ -107,6 +113,8 @@ func instanceDur(cm *cost.Model, in *ir.Instr, k int, pr cost.A2APricer, frac fl
 // run on the scratch's generation-stamped ID arrays instead of per-call
 // maps, and tensors are visited in program order (deterministic, unlike
 // the map iteration it replaces).
+//
+//lancet:hotpath
 func boundaryCostUs(g *ir.Graph, cm *cost.Model, window []*ir.Instr, asg Assignment, sc *dpScratch) float64 {
 	sc.insideI = grow(sc.insideI, len(g.Instrs))
 	sc.prodT = grow(sc.prodT, len(g.Tensors))

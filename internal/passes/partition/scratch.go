@@ -7,6 +7,11 @@ import (
 	"lancet/internal/ir"
 )
 
+// Everything here backs the DP inner loop: zero steady-state
+// allocations (DESIGN.md §13), with pool warm-up confined to grow.
+//
+//lancet:hotpath
+
 // dpScratch is the reusable working set of one partition-pass DP sweep
 // (DESIGN.md §13): the prefix/DP tables, the per-window dependency and stage
 // indexes, and the flat end-time matrix of the pipeline simulation. All of
@@ -80,6 +85,8 @@ func putScratch(sc *dpScratch) {
 // grow returns a slice of length n backed by s when it has the capacity,
 // or a fresh allocation otherwise (only until the pool warms up to the
 // largest graph). Contents are unspecified; callers overwrite or stamp.
+//
+//lancet:alloc-ok
 func grow[T any](s []T, n int) []T {
 	if cap(s) < n {
 		return make([]T, n)

@@ -201,6 +201,8 @@ func (e *Executor) Run(g *ir.Graph, order []int) (*Timeline, error) {
 
 // duration prices one instruction and reports whether an irregular
 // all-to-all path (duration or payload override) supplied it.
+//
+//lancet:hotpath
 func (e *Executor) duration(in *ir.Instr, rng *rand.Rand) (float64, bool) {
 	var dur float64
 	if in.Op == ir.OpAllToAll && !e.Predict && e.A2ADurOverrideUs != nil {
@@ -235,6 +237,10 @@ func (e *Executor) duration(in *ir.Instr, rng *rand.Rand) (float64, bool) {
 	return dur, irregular
 }
 
+// computeBreakdown aggregates span overlap into the timeline breakdown
+// using the run's scratch arenas.
+//
+//lancet:hotpath
 func computeBreakdown(g *ir.Graph, spans []Span, sc *runScratch) Breakdown {
 	var b Breakdown
 	comm, comp, a2a := sc.comm[:0], sc.comp[:0], sc.a2a[:0]
@@ -275,6 +281,8 @@ type interval struct{ lo, hi float64 }
 // Sorting is by lower bound; ties between equal lower bounds coalesce to
 // the same result regardless of their relative order, so the unstable sort
 // is deterministic in effect.
+//
+//lancet:hotpath
 func merge(dst, xs []interval) []interval {
 	if len(xs) == 0 {
 		return dst[:0]
@@ -302,6 +310,7 @@ func merge(dst, xs []interval) []interval {
 	return out
 }
 
+//lancet:hotpath
 func intersectionMeasure(a, b []interval) float64 {
 	total := 0.0
 	i, j := 0, 0
