@@ -18,6 +18,16 @@
 // With -min-hit-rate the run doubles as a gate: it exits nonzero when the
 // combined (memory + disk) hit rate falls below the bound, which is how CI
 // pins the ">50% on a Zipf mix" acceptance claim.
+//
+// With -drift-updates the harness additionally exercises the /v1/routing
+// drift loop (DESIGN.md §16): it streams that many gate-count updates whose
+// Zipf exponent wanders out and back, forcing the traffic profile to drift
+// away from the live plan and return, and reports the loop's counters.
+// -min-replans gates on the background re-plans actually landing.
+//
+// Before driving any traffic the harness checks GET /v1/version and refuses
+// a server whose API revision differs from what it was built against — a
+// mismatched pair would measure (or mutate) the wrong wire surface.
 package main
 
 import (
@@ -27,8 +37,10 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"math/rand"
 	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"sort"
@@ -36,6 +48,7 @@ import (
 	"sync"
 	"time"
 
+	"lancet/internal/netsim"
 	"lancet/internal/service"
 )
 
@@ -65,6 +78,11 @@ type Report struct {
 	P99Ms      float64 `json:"p99_ms"`
 	MaxMs      float64 `json:"max_ms"`
 
+	// DriftUpdates / DriftErrors cover the -drift-updates injection phase;
+	// the loop's own counters land under Stats.Drift.
+	DriftUpdates int   `json:"drift_updates,omitempty"`
+	DriftErrors  int64 `json:"drift_errors,omitempty"`
+
 	Stats service.StatsResponse `json:"stats"`
 }
 
@@ -80,6 +98,12 @@ func run(args []string, stdout io.Writer) error {
 		cacheSize  = fs.Int("cache-size", 256, "hot-tier plan-store capacity (entries)")
 		storeDir   = fs.String("store-dir", "", "durable plan-store directory (empty = memory only)")
 		minHitRate = fs.Float64("min-hit-rate", 0, "fail unless the combined cache hit rate reaches this")
+		requireAPI = fs.Int("require-api", service.APIRevision,
+			"refuse to drive a server whose /v1/version api_revision differs from this")
+		driftUpdates = fs.Int("drift-updates", 0,
+			"stream this many /v1/routing gate-count updates with a wandering Zipf exponent (0 disables the drift phase)")
+		minReplans = fs.Int64("min-replans", 0,
+			"fail unless the drift loop completed at least this many background re-plans")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -105,6 +129,9 @@ func run(args []string, stdout io.Writer) error {
 		svc = service.New(cfg)
 	}
 	handler := svc.Handler()
+	if err := checkVersion(handler, *requireAPI); err != nil {
+		return err
+	}
 
 	// Key i is the cheapest distinct plan-store entry: the RAF baseline
 	// (no partition DP) with no comparison plan, simulated under seed i.
@@ -156,22 +183,32 @@ func run(args []string, stdout io.Writer) error {
 	wg.Wait()
 	elapsed := time.Since(start)
 
+	var driftErrs int64
+	if *driftUpdates > 0 {
+		driftErrs = injectDrift(handler, *driftUpdates)
+	}
+	// Closing drains the background re-plan queue, so the drift counters in
+	// the report are final, not a snapshot racing the worker.
+	svc.Close()
+
 	all := make([]float64, 0, *requests)
 	for _, l := range latencies {
 		all = append(all, l...)
 	}
 	sort.Float64s(all)
 	rep := Report{
-		Requests:   *requests,
-		Keys:       *keys,
-		Zipf:       *zipfS,
-		Parallel:   *parallel,
-		Errors:     errCount,
-		DurationMs: float64(elapsed.Nanoseconds()) / 1e6,
-		P50Ms:      percentile(all, 0.50),
-		P90Ms:      percentile(all, 0.90),
-		P99Ms:      percentile(all, 0.99),
-		Stats:      svc.Stats(),
+		Requests:     *requests,
+		Keys:         *keys,
+		Zipf:         *zipfS,
+		Parallel:     *parallel,
+		Errors:       errCount,
+		DurationMs:   float64(elapsed.Nanoseconds()) / 1e6,
+		P50Ms:        percentile(all, 0.50),
+		P90Ms:        percentile(all, 0.90),
+		P99Ms:        percentile(all, 0.99),
+		DriftUpdates: *driftUpdates,
+		DriftErrors:  driftErrs,
+		Stats:        svc.Stats(),
 	}
 	if len(all) > 0 {
 		rep.MaxMs = all[len(all)-1]
@@ -187,10 +224,74 @@ func run(args []string, stdout io.Writer) error {
 	if errCount > 0 {
 		return fmt.Errorf("%d of %d requests failed", errCount, *requests)
 	}
+	if driftErrs > 0 {
+		return fmt.Errorf("%d of %d drift updates failed", driftErrs, *driftUpdates)
+	}
 	if hr := rep.Stats.PlanTiers.CombinedHitRate; hr < *minHitRate {
 		return fmt.Errorf("combined cache hit rate %.3f below required %.3f", hr, *minHitRate)
 	}
+	if rep.Stats.Drift.Replans < *minReplans {
+		return fmt.Errorf("drift loop completed %d re-plans, required %d", rep.Stats.Drift.Replans, *minReplans)
+	}
 	return nil
+}
+
+// checkVersion refuses servers speaking a different API revision: the
+// harness's request bodies and counter names are only meaningful against
+// the surface it was built for.
+func checkVersion(h http.Handler, want int) error {
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "http://lancet-load/v1/version", nil))
+	if rec.Code != http.StatusOK {
+		return fmt.Errorf("GET /v1/version returned %d; refusing to drive an unversioned server", rec.Code)
+	}
+	var v service.VersionResponse
+	if err := json.NewDecoder(rec.Body).Decode(&v); err != nil {
+		return fmt.Errorf("bad /v1/version body: %w", err)
+	}
+	if v.APIRevision != want {
+		return fmt.Errorf("server speaks API revision %d, this harness requires %d; refusing to drive it",
+			v.APIRevision, want)
+	}
+	return nil
+}
+
+// injectDrift streams n /v1/routing updates for one drift session. The
+// traffic's Zipf exponent walks 0 -> 1.6 -> 0 across the run — out into a
+// skewed regime and back — so with re-planning enabled the loop must
+// detect the drift and swap plans in the background. Updates go in
+// sequentially (the stream of one training job); the count of failed
+// updates is returned.
+func injectDrift(h http.Handler, n int) int64 {
+	const devices = 16
+	errs := int64(0)
+	for i := 0; i < n; i++ {
+		frac := 0.0
+		if n > 1 {
+			frac = float64(i) / float64(n-1)
+		}
+		alpha := 1.6 * (1 - math.Abs(2*frac-1))
+		update := service.RoutingUpdate{
+			Plan:   service.PlanRequest{Framework: "raf", Baseline: service.BaselineNone},
+			Counts: netsim.ZipfProfile(devices, alpha).Counts(),
+		}
+		body, err := json.Marshal(update)
+		if err != nil {
+			errs++
+			continue
+		}
+		req, err := http.NewRequest(http.MethodPost, "http://lancet-load/v1/routing", strings.NewReader(string(body)))
+		if err != nil {
+			errs++
+			continue
+		}
+		rec := &nullResponseWriter{}
+		h.ServeHTTP(rec, req)
+		if rec.code != http.StatusOK {
+			errs++
+		}
+	}
+	return errs
 }
 
 // percentile reads the p-quantile (0..1) off a sorted sample via the

@@ -103,6 +103,38 @@ func TestLoadMinHitRateGate(t *testing.T) {
 	}
 }
 
+func TestLoadDriftInjection(t *testing.T) {
+	rep, err := loadReport(t,
+		"-requests", "40", "-keys", "4", "-parallel", "1",
+		"-drift-updates", "60", "-min-replans", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DriftUpdates != 60 || rep.DriftErrors != 0 {
+		t.Errorf("drift phase: %d updates, %d errors, want 60 and 0", rep.DriftUpdates, rep.DriftErrors)
+	}
+	d := rep.Stats.Drift
+	if d.Updates != 60 {
+		t.Errorf("service ingested %d updates, want 60", d.Updates)
+	}
+	// The wandering exponent must push the profile over the default
+	// threshold and back: drift detected, re-plans landed, stale responses
+	// served while they computed.
+	if d.DriftDetected < 1 || d.Replans < 1 || d.StaleServed < 1 {
+		t.Errorf("drift loop never cycled: %+v", d)
+	}
+	if d.ReplanErrors != 0 {
+		t.Errorf("replan errors: %+v", d)
+	}
+}
+
+func TestLoadRefusesIncompatibleAPIRevision(t *testing.T) {
+	_, err := loadReport(t, "-requests", "10", "-keys", "2", "-require-api", "999")
+	if err == nil || !strings.Contains(err.Error(), "refusing") {
+		t.Errorf("version gate did not trip: %v", err)
+	}
+}
+
 func TestLoadRejectsBadFlags(t *testing.T) {
 	cases := [][]string{
 		{"-requests", "0"},

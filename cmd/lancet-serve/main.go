@@ -18,9 +18,15 @@
 //	POST /v1/sweep        fan a configuration grid out over the worker pool
 //	                      ("stream": true selects NDJSON streaming,
 //	                      "warm_start": true chains neighbor DP hints)
+//	POST /v1/routing      stream per-session gate-count updates; serves the
+//	                      live plan stale-while-revalidate and re-plans in
+//	                      the background when the traffic drifts
+//	                      (-drift-threshold, -decay-half-life; DESIGN.md §16)
 //	GET  /v1/experiments  the registered experiment suite
-//	GET  /v1/stats        per-tier plan-store, session-pool and cost-model
-//	                      counters
+//	GET  /v1/stats        per-tier plan-store, session-pool, cost-model and
+//	                      drift-loop counters
+//	GET  /v1/version      module version, plan-artifact codec version, API
+//	                      revision
 //	GET  /healthz         liveness probe
 package main
 
@@ -47,10 +53,19 @@ func main() {
 		cacheSize = flag.Int("cache-size", 256, "hot-tier plan-store capacity (entries)")
 		parallel  = flag.Int("parallel", runtime.NumCPU(), "sweep worker-pool size")
 		storeDir  = flag.String("store-dir", "", "durable plan-store directory (empty = memory only)")
+		driftThr  = flag.Float64("drift-threshold", 0.1,
+			"normalized L1 traffic distance beyond which /v1/routing re-plans in the background (negative disables)")
+		halfLife = flag.Float64("decay-half-life", 8,
+			"updates over which a /v1/routing observation's influence halves (<= 0 keeps every update forever)")
 	)
 	flag.Parse()
 
-	cfg := service.Config{CacheSize: *cacheSize, Parallel: *parallel}
+	cfg := service.Config{
+		CacheSize:      *cacheSize,
+		Parallel:       *parallel,
+		DriftThreshold: *driftThr,
+		DecayHalfLife:  *halfLife,
+	}
 	var svc *service.Service
 	if *storeDir != "" {
 		var err error
@@ -90,5 +105,8 @@ func main() {
 		log.Fatal(err)
 	}
 	<-drained
+	// The HTTP server is drained, so no handler can submit new re-plans;
+	// Close runs whatever the background queue still holds.
+	svc.Close()
 	log.Printf("drained; bye")
 }

@@ -1,0 +1,36 @@
+package experiments
+
+import "testing"
+
+// TestDriftPlanningPolicies pins the drift loop's reason to exist: under
+// wandering traffic, re-planning on a distance threshold must beat never
+// re-planning on iteration time while running the DP less often than
+// re-planning on every fingerprint move.
+func TestDriftPlanningPolicies(t *testing.T) {
+	tb, err := DriftPlanning(Params{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("got %d rows, want 3 policies", len(tb.Rows))
+	}
+	never, always, thresh := tb.Rows[0], tb.Rows[1], tb.Rows[2]
+	if parseF(t, never[1]) != 0 {
+		t.Errorf("never-replan ran %s re-plans, want 0", never[1])
+	}
+	alwaysReplans := parseF(t, always[1])
+	threshReplans := parseF(t, thresh[1])
+	if threshReplans < 1 {
+		t.Error("threshold policy never re-planned; the wandering exponent must cross the default distance")
+	}
+	if threshReplans >= alwaysReplans {
+		t.Errorf("threshold re-planned %v times, always %v: the threshold must filter re-plans",
+			threshReplans, alwaysReplans)
+	}
+	neverMean := parseF(t, never[2])
+	threshMean := parseF(t, thresh[2])
+	if threshMean >= neverMean {
+		t.Errorf("threshold mean %.2f ms not below never-replan %.2f ms: re-planning bought nothing",
+			threshMean, neverMean)
+	}
+}

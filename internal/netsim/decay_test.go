@@ -1,0 +1,163 @@
+package netsim_test
+
+import (
+	"math"
+	"testing"
+
+	"lancet/internal/netsim"
+)
+
+func TestDecayedProfileRejectsBadUpdates(t *testing.T) {
+	d := netsim.NewDecayedProfile(4)
+	if err := d.Ingest(nil); err == nil {
+		t.Error("empty update accepted")
+	}
+	if err := d.Ingest([][]int64{{1, 2}, {3}}); err == nil {
+		t.Error("ragged update accepted")
+	}
+	if err := d.Ingest([][]int64{{1, -2}, {3, 4}}); err == nil {
+		t.Error("negative update accepted")
+	}
+	if err := d.Ingest([][]int64{{0, 0}, {0, 0}}); err == nil {
+		t.Error("zero update accepted")
+	}
+	if _, err := d.Snapshot(); err == nil {
+		t.Error("snapshot of empty accumulator succeeded")
+	}
+	if err := d.Ingest([][]int64{{1, 2}, {3, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Ingest([][]int64{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}}); err == nil {
+		t.Error("dimension change accepted")
+	}
+	if d.Updates() != 1 {
+		t.Errorf("updates = %d, want 1 (only the valid ingest counts)", d.Updates())
+	}
+}
+
+func TestDecayedProfileConvergesToStableTraffic(t *testing.T) {
+	// A stream that keeps sending the same shape must converge to a stable
+	// fingerprint: the decayed blend of identical updates is that update.
+	target := netsim.ZipfProfile(8, 1.5)
+	d := netsim.NewDecayedProfile(2)
+	var fp uint64
+	for i := 0; i < 12; i++ {
+		if err := d.Ingest(target.Counts()); err != nil {
+			t.Fatal(err)
+		}
+		p, err := d.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp = p.Fingerprint()
+	}
+	p, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Fingerprint() != fp {
+		t.Error("fingerprint still moving after 12 identical updates")
+	}
+	if dist := p.L1Distance(target); dist > 1e-3 {
+		t.Errorf("converged profile is %.4f from its stable input, want ~0", dist)
+	}
+	// Volume independence: tripling every update's token counts is the same
+	// traffic shape, so the snapshot fingerprint must match.
+	scaled := netsim.NewDecayedProfile(2)
+	for i := 0; i < 13; i++ {
+		counts := target.Counts()
+		for _, row := range counts {
+			for j := range row {
+				row[j] *= 3
+			}
+		}
+		if err := scaled.Ingest(counts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sp, err := scaled.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Fingerprint() != p.Fingerprint() {
+		t.Error("snapshot fingerprint depends on absolute update volume")
+	}
+}
+
+func TestDecayedProfileTracksDrift(t *testing.T) {
+	// After traffic flips from uniform to hot-expert, the decayed snapshot
+	// must move toward the new shape: distance to the new traffic shrinks
+	// with every post-flip update while distance to the old one grows.
+	uniform := netsim.UniformProfile(8)
+	hot := netsim.HotExpertProfile(8, 0.7)
+	d := netsim.NewDecayedProfile(2)
+	for i := 0; i < 6; i++ {
+		if err := d.Ingest(uniform.Counts()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	prev, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastToHot := prev.L1Distance(hot)
+	// Ingest weights by token volume and a uniform matrix carries several
+	// times a hot-expert matrix's tokens, so the old phase takes a few extra
+	// half-lives to wash out — hence 12 updates, not 6.
+	for i := 0; i < 12; i++ {
+		if err := d.Ingest(hot.Counts()); err != nil {
+			t.Fatal(err)
+		}
+		p, err := d.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		toHot := p.L1Distance(hot)
+		if toHot >= lastToHot {
+			t.Errorf("post-flip update %d: distance to new traffic %.4f did not shrink from %.4f", i, toHot, lastToHot)
+		}
+		lastToHot = toHot
+	}
+	if lastToHot > 0.1 {
+		t.Errorf("after 12 half-life-2 updates the snapshot is still %.3f from the new traffic", lastToHot)
+	}
+}
+
+func TestL1DistanceProperties(t *testing.T) {
+	a := netsim.ZipfProfile(8, 1.0)
+	b := netsim.HotExpertProfile(8, 0.8)
+	if d := a.L1Distance(a); d != 0 {
+		t.Errorf("self distance = %g, want 0", d)
+	}
+	dab, dba := a.L1Distance(b), b.L1Distance(a)
+	if math.Abs(dab-dba) > 1e-12 {
+		t.Errorf("distance not symmetric: %g vs %g", dab, dba)
+	}
+	if dab <= 0 || dab > 2 {
+		t.Errorf("distance %g outside (0, 2]", dab)
+	}
+	if d := a.L1Distance(netsim.UniformProfile(4)); d != 2 {
+		t.Errorf("mismatched device counts = %g, want the maximal 2", d)
+	}
+	if d := a.L1Distance(nil); d != 2 {
+		t.Errorf("nil profile = %g, want the maximal 2", d)
+	}
+	// Scale invariance: distance compares shapes, not volumes.
+	counts := b.Counts()
+	for _, row := range counts {
+		for j := range row {
+			row[j] *= 5
+		}
+	}
+	d2 := netsim.NewDecayedProfile(0)
+	if err := d2.Ingest(counts); err != nil {
+		t.Fatal(err)
+	}
+	scaled, err := d2.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := a.L1Distance(scaled); math.Abs(d-dab) > 1e-3 {
+		t.Errorf("distance to scaled profile %g deviates from %g", d, dab)
+	}
+}

@@ -1,0 +1,100 @@
+package pool
+
+import "sync"
+
+// Queue is a bounded background work queue: a fixed worker set draining a
+// buffered job channel, built for fire-and-forget tasks like the serving
+// layer's background re-plans (DESIGN.md §16). Unlike ForEachIndexed it is
+// long-lived — submit at any time, close once at shutdown.
+//
+// Submission is strictly non-blocking: TrySubmit either enqueues or reports
+// a full (or closed) queue, so a producer holding latency-sensitive state
+// never waits on the workers. Dropped submissions are the caller's signal
+// to shed load (the drift loop simply re-detects on the next update).
+type Queue struct {
+	jobs chan func()
+	wg   sync.WaitGroup
+
+	// Closing is signaled by closing done rather than the jobs channel: a
+	// concurrent TrySubmit may hold a reference to jobs, and sending on a
+	// closed channel panics, so jobs is never closed. Workers drain jobs
+	// until done is closed and the backlog is empty.
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+// NewQueue starts a queue with the given worker count and backlog capacity
+// (both floored at 1).
+func NewQueue(workers, backlog int) *Queue {
+	if workers < 1 {
+		workers = 1
+	}
+	if backlog < 1 {
+		backlog = 1
+	}
+	q := &Queue{
+		jobs: make(chan func(), backlog),
+		done: make(chan struct{}),
+	}
+	for range workers {
+		q.wg.Add(1)
+		go q.worker()
+	}
+	return q
+}
+
+func (q *Queue) worker() {
+	defer q.wg.Done()
+	for {
+		select {
+		case job := <-q.jobs:
+			job()
+		case <-q.done:
+			// Drain the backlog that was accepted before Close: every
+			// TrySubmit=true job runs exactly once.
+			for {
+				select {
+				case job := <-q.jobs:
+					job()
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// TrySubmit enqueues job for background execution, or returns false without
+// blocking when the backlog is full or the queue is closed.
+func (q *Queue) TrySubmit(job func()) bool {
+	select {
+	case <-q.done:
+		return false
+	default:
+	}
+	select {
+	case q.jobs <- job:
+		return true
+	default:
+		return false
+	}
+}
+
+// Close stops accepting work and blocks until the workers have finished the
+// accepted backlog. Safe to call more than once; concurrent TrySubmit calls
+// return false once the close is visible. Callers should stop submitting
+// before closing (the serving layer closes only after its HTTP server has
+// drained) — a TrySubmit overlapping Close may be accepted and still run
+// here, inline, but one overlapping Close's return is the caller's bug.
+func (q *Queue) Close() {
+	q.closeOnce.Do(func() { close(q.done) })
+	q.wg.Wait()
+	for {
+		select {
+		case job := <-q.jobs:
+			job()
+		default:
+			return
+		}
+	}
+}

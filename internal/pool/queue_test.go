@@ -1,0 +1,100 @@
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestQueueRunsAcceptedJobs(t *testing.T) {
+	q := NewQueue(2, 16)
+	var ran atomic.Int64
+	accepted := 0
+	for i := 0; i < 100; i++ {
+		if q.TrySubmit(func() { ran.Add(1) }) {
+			accepted++
+		}
+	}
+	q.Close()
+	if int(ran.Load()) != accepted {
+		t.Errorf("ran %d of %d accepted jobs", ran.Load(), accepted)
+	}
+	if accepted == 0 {
+		t.Error("queue accepted nothing")
+	}
+}
+
+func TestQueueShedsWhenFull(t *testing.T) {
+	q := NewQueue(1, 1)
+	block := make(chan struct{})
+	var started sync.WaitGroup
+	started.Add(1)
+	if !q.TrySubmit(func() { started.Done(); <-block }) {
+		t.Fatal("first submit rejected")
+	}
+	started.Wait() // worker is busy; backlog is now the only capacity
+	if !q.TrySubmit(func() {}) {
+		t.Fatal("backlog slot rejected")
+	}
+	if q.TrySubmit(func() {}) {
+		t.Error("full queue accepted a third job instead of shedding")
+	}
+	close(block)
+	q.Close()
+}
+
+func TestQueueCloseIdempotentAndRejecting(t *testing.T) {
+	q := NewQueue(2, 4)
+	q.Close()
+	q.Close()
+	if q.TrySubmit(func() { t.Error("job ran after close") }) {
+		t.Error("closed queue accepted a job")
+	}
+}
+
+func TestQueueCloseDrainsBacklog(t *testing.T) {
+	// A single worker blocked on the first job forces the rest into the
+	// backlog; Close must still run every accepted job exactly once.
+	q := NewQueue(1, 8)
+	var ran atomic.Int64
+	gate := make(chan struct{})
+	var started sync.WaitGroup
+	started.Add(1)
+	if !q.TrySubmit(func() { started.Done(); <-gate; ran.Add(1) }) {
+		t.Fatal("first submit rejected")
+	}
+	started.Wait()
+	accepted := int64(1)
+	for i := 0; i < 8; i++ {
+		if q.TrySubmit(func() { ran.Add(1) }) {
+			accepted++
+		}
+	}
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		close(gate)
+	}()
+	q.Close()
+	if ran.Load() != accepted {
+		t.Errorf("close drained %d of %d accepted jobs", ran.Load(), accepted)
+	}
+}
+
+func TestQueueNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 10; i++ {
+		q := NewQueue(4, 4)
+		q.TrySubmit(func() {})
+		q.Close()
+	}
+	// Allow the runtime a moment to retire exited goroutines.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Errorf("goroutines grew %d -> %d after closing queues", before, n)
+	}
+}

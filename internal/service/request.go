@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"lancet"
+	"lancet/internal/netsim"
 )
 
 // PlanOptions mirrors lancet.Options field by field with JSON names, so
@@ -89,16 +90,16 @@ func normalizeClasses(specs []ClassSpec, clusterType string, gpus int) ([]lancet
 		return nil, nil
 	}
 	if clusterType != "" || gpus != 0 {
-		return nil, fmt.Errorf("specify either cluster/gpus or classes, not both")
+		return nil, codedf(CodeConflictingFields, "specify either cluster/gpus or classes, not both")
 	}
 	classes := make([]lancet.NodeClass, 0, len(specs))
 	for i, cs := range specs {
 		if cs.Nodes <= 0 {
-			return nil, fmt.Errorf("classes[%d] needs nodes > 0, got %d", i, cs.Nodes)
+			return nil, codedf(CodeBadCluster, "classes[%d] needs nodes > 0, got %d", i, cs.Nodes)
 		}
 		nc, err := lancet.ClassForGPU(strings.TrimSpace(cs.GPU), cs.Nodes)
 		if err != nil {
-			return nil, fmt.Errorf("classes[%d]: %w", i, err)
+			return nil, coded(CodeBadCluster, fmt.Errorf("classes[%d]: %w", i, err))
 		}
 		classes = append(classes, nc)
 	}
@@ -138,7 +139,7 @@ const (
 // uniform.
 func normalizeRouting(r *RoutingSpec, skew float64) (RoutingSpec, error) {
 	if skew < 0 {
-		return RoutingSpec{}, fmt.Errorf("skew must be non-negative, got %g", skew)
+		return RoutingSpec{}, codedf(CodeBadRouting, "skew must be non-negative, got %g", skew)
 	}
 	if r == nil {
 		if skew > 0 {
@@ -147,31 +148,31 @@ func normalizeRouting(r *RoutingSpec, skew float64) (RoutingSpec, error) {
 		return RoutingSpec{Kind: RoutingUniform}, nil
 	}
 	if skew != 0 {
-		return RoutingSpec{}, fmt.Errorf("specify either skew or routing, not both")
+		return RoutingSpec{}, codedf(CodeConflictingFields, "specify either skew or routing, not both")
 	}
 	spec := RoutingSpec{Kind: strings.ToLower(strings.TrimSpace(r.Kind)), Alpha: r.Alpha, HotShare: r.HotShare}
 	switch spec.Kind {
 	case "", RoutingUniform:
 		spec.Kind = RoutingUniform
 		if spec.Alpha != 0 || spec.HotShare != 0 {
-			return RoutingSpec{}, fmt.Errorf("uniform routing takes no alpha or hot_share")
+			return RoutingSpec{}, codedf(CodeBadRouting, "uniform routing takes no alpha or hot_share")
 		}
 	case RoutingZipf:
 		if spec.Alpha <= 0 {
-			return RoutingSpec{}, fmt.Errorf("zipf routing needs alpha > 0, got %g", spec.Alpha)
+			return RoutingSpec{}, codedf(CodeBadRouting, "zipf routing needs alpha > 0, got %g", spec.Alpha)
 		}
 		if spec.HotShare != 0 {
-			return RoutingSpec{}, fmt.Errorf("zipf routing takes no hot_share")
+			return RoutingSpec{}, codedf(CodeBadRouting, "zipf routing takes no hot_share")
 		}
 	case RoutingHot:
 		if spec.HotShare <= 0 || spec.HotShare >= 1 {
-			return RoutingSpec{}, fmt.Errorf("hot routing needs 0 < hot_share < 1, got %g", spec.HotShare)
+			return RoutingSpec{}, codedf(CodeBadRouting, "hot routing needs 0 < hot_share < 1, got %g", spec.HotShare)
 		}
 		if spec.Alpha != 0 {
-			return RoutingSpec{}, fmt.Errorf("hot routing takes no alpha")
+			return RoutingSpec{}, codedf(CodeBadRouting, "hot routing takes no alpha")
 		}
 	default:
-		return RoutingSpec{}, fmt.Errorf("unknown routing kind %q (want %s, %s or %s)",
+		return RoutingSpec{}, codedf(CodeBadRouting, "unknown routing kind %q (want %s, %s or %s)",
 			r.Kind, RoutingUniform, RoutingZipf, RoutingHot)
 	}
 	return spec, nil
@@ -209,8 +210,11 @@ type PlanRequest struct {
 	// pointer so an explicit 0 — a valid seed the CLI accepts — stays
 	// distinguishable from "unset".
 	Seed *int64 `json:"seed,omitempty"`
-	// Skew is the legacy shorthand for routing {"kind":"zipf","alpha":Skew};
-	// Routing is the full spec. Setting both is a client error.
+	// Skew is the DEPRECATED legacy shorthand for routing
+	// {"kind":"zipf","alpha":Skew}; Routing is the full spec, echoes
+	// normalize to it, and responses to skew-bearing requests carry
+	// Deprecation / X-Lancet-Deprecated-Field headers. Setting both is a
+	// client error. Scheduled for removal at the next API revision.
 	Skew    float64      `json:"skew,omitempty"`
 	Routing *RoutingSpec `json:"routing,omitempty"`
 	// Topology is the cluster's network hierarchy (racks + spine
@@ -240,6 +244,17 @@ type canonical struct {
 	routing     RoutingSpec
 	topo        TopologySpec // zero = flat; every flat spelling normalizes to it
 	opts        PlanOptions
+
+	// profile, when set, replaces the routing spec as the workload: a
+	// streamed traffic snapshot from the drift loop (DESIGN.md §16). It is
+	// keyed by content fingerprint, so oscillating traffic that returns to
+	// a previously planned shape hits the plan store.
+	profile *netsim.RoutingProfile
+
+	// deprecated lists the legacy request fields this request used;
+	// handlers surface them via Deprecation/X-Lancet-Deprecated-Field
+	// headers.
+	deprecated []string
 }
 
 // canonicalize validates r and resolves every default. All errors it
@@ -255,11 +270,14 @@ func (r PlanRequest) canonicalize() (*canonical, error) {
 		return nil, err
 	}
 	c.routing = routing
+	if r.Skew > 0 && r.Routing == nil {
+		c.deprecated = append(c.deprecated, "skew")
+	}
 	// Negative knobs would silently disable passes (Session.Lancet only
 	// substitutes defaults for exactly 0); reject them like every other
 	// invalid field.
 	if o := r.Options; o.MaxPartitions < 0 || o.GroupUs < 0 || o.MaxRangeGroups < 0 {
-		return nil, fmt.Errorf("options must be non-negative, got max_partitions %d, group_us %g, max_range_groups %d",
+		return nil, codedf(CodeBadRequest, "options must be non-negative, got max_partitions %d, group_us %g, max_range_groups %d",
 			o.MaxPartitions, o.GroupUs, o.MaxRangeGroups)
 	}
 
@@ -269,12 +287,12 @@ func (r PlanRequest) canonicalize() (*canonical, error) {
 	}
 	cfg, err := lancet.ParseModel(name, r.Batch)
 	if err != nil {
-		return nil, err
+		return nil, coded(CodeUnknownModel, err)
 	}
 	if r.Gate != "" {
 		gate, err := lancet.ParseGate(r.Gate)
 		if err != nil {
-			return nil, err
+			return nil, coded(CodeUnknownGate, err)
 		}
 		cfg.Gate = gate
 	}
@@ -291,7 +309,7 @@ func (r PlanRequest) canonicalize() (*canonical, error) {
 	var cl lancet.Cluster
 	if len(classes) > 0 {
 		if cl, err = lancet.NewHeteroCluster(classes...); err != nil {
-			return nil, err
+			return nil, coded(CodeBadCluster, err)
 		}
 		// NewHeteroCluster merges same-spec neighbors and collapses a
 		// single class to the uniform cluster; canonicalize from what it
@@ -314,13 +332,13 @@ func (r PlanRequest) canonicalize() (*canonical, error) {
 			c.gpus = 16
 		}
 		if cl, err = lancet.NewCluster(c.clusterType, c.gpus); err != nil {
-			return nil, err
+			return nil, coded(CodeBadCluster, err)
 		}
 	}
 	if r.Topology != nil {
 		topo := r.Topology.toTopology()
 		if cl, err = cl.WithTopology(topo); err != nil {
-			return nil, err
+			return nil, coded(CodeBadTopology, err)
 		}
 		if !cl.FlatTopology() {
 			// Canonical non-flat form: the clamped rack size and the
@@ -337,7 +355,7 @@ func (r PlanRequest) canonicalize() (*canonical, error) {
 	c.framework = lancet.FrameworkLancet
 	if r.Framework != "" {
 		if c.framework, err = lancet.ParseFramework(r.Framework); err != nil {
-			return nil, err
+			return nil, coded(CodeUnknownFramework, err)
 		}
 	}
 	switch strings.ToLower(strings.TrimSpace(r.Baseline)) {
@@ -352,10 +370,10 @@ func (r PlanRequest) canonicalize() (*canonical, error) {
 		c.baseline = ""
 	default:
 		if c.baseline, err = lancet.ParseFramework(r.Baseline); err != nil {
-			return nil, err
+			return nil, coded(CodeUnknownFramework, err)
 		}
 		if c.baseline == c.framework {
-			return nil, fmt.Errorf("baseline equals framework %q; use baseline %q to disable the comparison",
+			return nil, codedf(CodeConflictingFields, "baseline equals framework %q; use baseline %q to disable the comparison",
 				c.framework, BaselineNone)
 		}
 	}
@@ -415,11 +433,32 @@ func (c *canonical) echo() PlanRequest {
 func (c *canonical) sessionKey() string {
 	key := fmt.Sprintf("%s|%s|%d|b%d|%s|shared%t|zero3%t|rt=%s|topo=%s",
 		c.cfg.Name, c.clusterType, c.gpus, c.cfg.BatchPerGPU, c.cfg.Gate,
-		c.cfg.SharedExpert, c.cfg.ZeRO3, c.routing.key(), c.topo.key())
+		c.cfg.SharedExpert, c.cfg.ZeRO3, c.routingKey(), c.topo.key())
 	if len(c.classes) > 0 {
 		key += "|hw=" + classesKey(c.classes)
 	}
 	return key
+}
+
+// routingKey is the canonical rt= cache-key fragment: the routing spec's
+// form for parametric workloads, or the streamed profile's content
+// fingerprint for drift-loop re-plans (DESIGN.md §16) — so a re-plan for a
+// traffic shape the store has already seen (oscillating drift) is a cache
+// hit, not a recomputation.
+func (c *canonical) routingKey() string {
+	if c.profile != nil {
+		return fmt.Sprintf("stream(%016x)", c.profile.Fingerprint())
+	}
+	return c.routing.key()
+}
+
+// withProfile returns a copy of c whose workload is the streamed profile:
+// the drift loop's canonical form for one re-plan. The copy shares the
+// resolved config; only the routing fragment of its keys changes.
+func (c *canonical) withProfile(p *netsim.RoutingProfile) *canonical {
+	cp := *c
+	cp.profile = p
+	return &cp
 }
 
 // planKey identifies one framework's plan-and-simulate outcome in the plan

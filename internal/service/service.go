@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"strings"
 	"sync/atomic"
 
 	"lancet"
@@ -35,6 +36,20 @@ type Config struct {
 	SessionCacheSize int
 	// Parallel is the sweep worker-pool size. Default runtime.NumCPU().
 	Parallel int
+
+	// DriftThreshold is the normalized L1 distance (in [0, 2], see
+	// netsim.RoutingProfile.L1Distance) between a drift session's decayed
+	// traffic snapshot and the profile its live plan was built from beyond
+	// which a background re-plan triggers (DESIGN.md §16). Default 0.1;
+	// negative disables re-planning (updates are still accumulated and
+	// reported).
+	DriftThreshold float64
+	// DecayHalfLife is how many /v1/routing updates it takes for an
+	// update's influence on a drift session's profile to halve. Default 8;
+	// <= 0 disables decay (pure running sum).
+	DecayHalfLife float64
+	// DriftSessionCap bounds the drift-session store (entries). Default 64.
+	DriftSessionCap int
 }
 
 // Service is the long-lived planning front end: a two-tier plan store —
@@ -80,6 +95,30 @@ type Service struct {
 	// request still fans out over its own pool.ForEachIndexed goroutines,
 	// but concurrent sweeps share this one budget of running grid points.
 	sweepSem chan struct{}
+
+	// driftSessions holds the per-plan drift loops fed by /v1/routing
+	// (DESIGN.md §16); driftFlight dedups concurrent creations of one.
+	driftSessions *lruStore[*driftSession]
+	driftFlight   flightGroup[*driftSession]
+
+	// replanQ runs background re-plans; created on the first detected
+	// drift (replanQueue) so memory-only services that never see a routing
+	// update spawn no workers. Close shuts it down.
+	replanQ atomic.Pointer[pool.Queue]
+
+	// The drift loop's counters (all monotonic): updates ingested, drifts
+	// detected, background re-plans completed / failed, and stale (plan
+	// older than the traffic it serves) responses.
+	driftUpdates  atomic.Int64
+	driftDetected atomic.Int64
+	replans       atomic.Int64
+	replanErrs    atomic.Int64
+	staleServed   atomic.Int64
+
+	// replanGate, when set (tests only), is invoked at the start of every
+	// background re-plan — the hook the stale-while-revalidate property
+	// test uses to hold a re-plan open while it bursts reads.
+	replanGate func()
 }
 
 // New builds a Service, applying defaults for zero Config fields.
@@ -93,10 +132,20 @@ func New(cfg Config) *Service {
 	if cfg.Parallel <= 0 {
 		cfg.Parallel = runtime.NumCPU()
 	}
+	if cfg.DriftThreshold == 0 {
+		cfg.DriftThreshold = defaultDriftThreshold
+	}
+	if cfg.DecayHalfLife == 0 {
+		cfg.DecayHalfLife = defaultDecayHalfLife
+	}
+	if cfg.DriftSessionCap <= 0 {
+		cfg.DriftSessionCap = 64
+	}
 	s := &Service{
-		cfg:      cfg,
-		plans:    newLRU[*Result](cfg.CacheSize),
-		sessions: newLRU[*lancet.Session](cfg.SessionCacheSize),
+		cfg:           cfg,
+		plans:         newLRU[*Result](cfg.CacheSize),
+		sessions:      newLRU[*lancet.Session](cfg.SessionCacheSize),
+		driftSessions: newLRU[*driftSession](cfg.DriftSessionCap),
 	}
 	s.sessions.onEvict = func(sess *lancet.Session) {
 		// Counters an in-flight computation accrues on the evicted session
@@ -137,32 +186,9 @@ func (s *Service) session(c *canonical) (*lancet.Session, error) {
 		if sess, ok := s.sessions.peek(key); ok {
 			return sess, nil
 		}
-		var cluster lancet.Cluster
-		var err error
-		if len(c.nodeClasses) > 0 {
-			// canonicalize already resolved and validated the class list;
-			// rebuild the cluster from exactly what the cache key describes.
-			cluster, err = lancet.NewHeteroCluster(c.nodeClasses...)
-		} else {
-			cluster, err = lancet.NewCluster(c.clusterType, c.gpus)
-		}
+		sess, err := buildSession(c)
 		if err != nil {
 			return nil, err
-		}
-		if c.topo != (TopologySpec{}) {
-			if cluster, err = cluster.WithTopology(c.topo.toTopology()); err != nil {
-				return nil, err
-			}
-		}
-		sess, err := lancet.NewSession(c.cfg, cluster)
-		if err != nil {
-			return nil, err
-		}
-		switch c.routing.Kind {
-		case RoutingZipf:
-			sess.WorkloadSkew = c.routing.Alpha
-		case RoutingHot:
-			sess.WorkloadHotExpert = c.routing.HotShare
 		}
 		s.sessions.put(key, sess)
 		return sess, nil
@@ -179,7 +205,16 @@ func (s *Service) session(c *canonical) (*lancet.Session, error) {
 // planning are contained and returned as errors, so a bad grid point
 // cannot take down sweep workers (plain goroutines with no net/http
 // recovery) or the whole server.
-func (s *Service) resultFor(c *canonical, fw string, hint []lancet.PipelineHint) (r *Result, state string, err error) {
+func (s *Service) resultFor(c *canonical, fw string, hint []lancet.PipelineHint) (*Result, string, error) {
+	return s.resultForWith(c, fw, hint, func() (*lancet.Session, error) { return s.session(c) })
+}
+
+// resultForWith is resultFor with an explicit session provider: the drift
+// loop serves its re-plans through the same two-tier store and singleflight
+// (write-through, restart-restorable), but against a dedicated session
+// whose workload is a streamed profile rather than a pooled parametric one
+// (DESIGN.md §16). sessionFn runs only on a full store miss.
+func (s *Service) resultForWith(c *canonical, fw string, hint []lancet.PipelineHint, sessionFn func() (*lancet.Session, error)) (r *Result, state string, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			r, state, err = nil, "error", fmt.Errorf("panic while planning %s: %v", fw, p)
@@ -215,7 +250,7 @@ func (s *Service) resultFor(c *canonical, fw string, hint []lancet.PipelineHint)
 			}
 		}
 		s.planMisses.Add(1)
-		sess, err := s.session(c)
+		sess, err := sessionFn()
 		if err != nil {
 			return nil, err
 		}
@@ -268,18 +303,15 @@ func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/plan", s.handlePlan)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("POST /v1/routing", s.handleRouting)
 	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/version", handleVersion)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
 	return mux
-}
-
-// errorResponse is the body of every non-2xx JSON reply.
-type errorResponse struct {
-	Error string `json:"error"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -288,10 +320,6 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(v) //nolint:errcheck // client gone; nothing to do
-}
-
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errorResponse{Error: err.Error()})
 }
 
 func (s *Service) handlePlan(w http.ResponseWriter, r *http.Request) {
@@ -339,7 +367,20 @@ func (s *Service) handlePlan(w http.ResponseWriter, r *http.Request) {
 	// The cache verdict travels in a header so identical requests get
 	// byte-identical bodies whether served fresh, shared or from the store.
 	w.Header().Set("X-Lancet-Cache", state)
+	setDeprecationHeaders(w, c.deprecated)
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// setDeprecationHeaders marks a response to a request that used deprecated
+// fields (currently only the legacy skew shorthand): RFC 8594-style
+// Deprecation plus the offending field list, so clients can find their
+// outdated spellings without diffing echoes.
+func setDeprecationHeaders(w http.ResponseWriter, fields []string) {
+	if len(fields) == 0 {
+		return
+	}
+	w.Header().Set("Deprecation", "true")
+	w.Header().Set("X-Lancet-Deprecated-Field", strings.Join(fields, ", "))
 }
 
 // SweepRequest is the body of POST /v1/sweep: a grid of configurations,
@@ -437,14 +478,17 @@ func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
 		int64(len(gates)) * int64(len(frameworks))
 	if !req.Stream && points > maxSweepPoints {
 		writeError(w, http.StatusBadRequest,
-			fmt.Errorf(`sweep grid has %d points, limit %d for buffered responses; set "stream": true for an NDJSON stream without the cap`,
+			codedf(CodeGridTooLarge, `sweep grid has %d points, limit %d for buffered responses; set "stream": true for an NDJSON stream without the cap`,
 				points, maxSweepPoints))
 		return
 	}
 	if points > maxStreamSweepPoints {
 		writeError(w, http.StatusBadRequest,
-			fmt.Errorf("sweep grid has %d points, streaming limit %d", points, maxStreamSweepPoints))
+			codedf(CodeGridTooLarge, "sweep grid has %d points, streaming limit %d", points, maxStreamSweepPoints))
 		return
+	}
+	if req.Skew > 0 && req.Routing == nil {
+		setDeprecationHeaders(w, []string{"skew"})
 	}
 
 	// Expand the cross product in deterministic order.
@@ -601,6 +645,9 @@ func (s *Service) handleExperiments(w http.ResponseWriter, _ *http.Request) {
 
 // StatsResponse is the body of GET /v1/stats.
 type StatsResponse struct {
+	// APIRevision is the wire-surface revision (see GET /v1/version), here
+	// too so a single stats scrape suffices for a compatibility check.
+	APIRevision int `json:"api_revision"`
 	// PlanStore is the memory tier of the plan store; DiskStore, present
 	// only when the service was Opened on a store directory, is the
 	// durable tier behind it (DESIGN.md §14). PlanTiers folds the two into
@@ -619,7 +666,21 @@ type StatsResponse struct {
 	DPEvaluations int64 `json:"dp_evaluations"`
 	// CostModel aggregates lancet.CostStats over every pooled session
 	// plus the retired tally of evicted ones (monotonic across scrapes).
+	// Drift sessions' dedicated cost models are not included.
 	CostModel CostModelStats `json:"cost_model"`
+	// Drift is the /v1/routing control loop's counters (DESIGN.md §16).
+	Drift DriftStats `json:"drift"`
+}
+
+// DriftStats reports the drift loop's state: live sessions plus the
+// monotonic update/detection/re-plan/stale counters.
+type DriftStats struct {
+	Sessions      int   `json:"sessions"`
+	Updates       int64 `json:"updates"`
+	DriftDetected int64 `json:"drift_detected"`
+	Replans       int64 `json:"replans"`
+	ReplanErrors  int64 `json:"replan_errors"`
+	StaleServed   int64 `json:"stale_served"`
 }
 
 // TierBreakdown distinguishes which tier served each plan-store lookup.
@@ -652,11 +713,20 @@ func (s *Service) handleStats(w http.ResponseWriter, _ *http.Request) {
 // Stats snapshots the service's counters.
 func (s *Service) Stats() StatsResponse {
 	resp := StatsResponse{
+		APIRevision:   APIRevision,
 		PlanStore:     s.plans.stats(),
 		SessionStore:  s.sessions.stats(),
 		Computations:  s.computations.Load(),
 		Deduplicated:  s.planFlight.dedupedCount(),
 		DPEvaluations: s.dpEvals.Load(),
+		Drift: DriftStats{
+			Sessions:      s.driftSessions.stats().Size,
+			Updates:       s.driftUpdates.Load(),
+			DriftDetected: s.driftDetected.Load(),
+			Replans:       s.replans.Load(),
+			ReplanErrors:  s.replanErrs.Load(),
+			StaleServed:   s.staleServed.Load(),
+		},
 	}
 	resp.PlanTiers.MemoryHits = resp.PlanStore.Hits
 	if s.disk != nil {

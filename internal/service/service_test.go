@@ -27,38 +27,54 @@ func postPlan(t *testing.T, h http.Handler, body string) *httptest.ResponseRecor
 	return w
 }
 
-func decodeError(t *testing.T, w *httptest.ResponseRecorder) string {
+// decodeEnvelope decodes a non-2xx body and checks the envelope invariants:
+// a code is always present and the legacy flat string matches the message.
+func decodeEnvelope(t *testing.T, w *httptest.ResponseRecorder) errorResponse {
 	t.Helper()
 	var e errorResponse
 	if err := json.NewDecoder(w.Body).Decode(&e); err != nil {
 		t.Fatalf("error body not JSON: %v", err)
 	}
-	return e.Error
+	if e.Err.Code == "" {
+		t.Error("error envelope missing code")
+	}
+	if e.Legacy != e.Err.Message {
+		t.Errorf("legacy error_string %q differs from envelope message %q", e.Legacy, e.Err.Message)
+	}
+	return e
+}
+
+func decodeError(t *testing.T, w *httptest.ResponseRecorder) string {
+	t.Helper()
+	return decodeEnvelope(t, w).Err.Message
 }
 
 func TestPlanRejectsBadRequests(t *testing.T) {
 	h := New(Config{}).Handler()
 	cases := []struct {
 		name, body, wantInError string
+		wantCode                ErrorCode
 	}{
-		{"bad json", `{"model": `, "bad request body"},
-		{"unknown field", `{"modle": "gpt2-s"}`, "unknown field"},
-		{"unknown model", `{"model": "gpt3"}`, "unknown model"},
-		{"unknown gate", `{"gate": "softmax"}`, "unknown gate"},
-		{"unknown framework", `{"framework": "megatron"}`, "unknown framework"},
-		{"unknown baseline", `{"baseline": "megatron"}`, "unknown framework"},
-		{"unknown cluster", `{"cluster": "H100"}`, "H100"},
-		{"bad gpu count", `{"gpus": 12}`, "12"},
-		{"negative skew", `{"skew": -1}`, "non-negative"},
-		{"skew and routing", `{"skew": 1, "routing": {"kind": "zipf", "alpha": 1}}`, "not both"},
-		{"unknown routing kind", `{"routing": {"kind": "pareto"}}`, "unknown routing kind"},
-		{"zipf without alpha", `{"routing": {"kind": "zipf"}}`, "alpha > 0"},
-		{"zipf with hot share", `{"routing": {"kind": "zipf", "alpha": 1, "hot_share": 0.5}}`, "no hot_share"},
-		{"hot share out of range", `{"routing": {"kind": "hot", "hot_share": 1.5}}`, "hot_share < 1"},
-		{"uniform with params", `{"routing": {"kind": "uniform", "alpha": 2}}`, "no alpha"},
-		{"baseline equals framework", `{"framework": "tutel", "baseline": "tutel"}`, "use baseline"},
-		{"negative options", `{"options": {"max_partitions": -1}}`, "non-negative"},
-		{"oversized body", `{"model": "` + strings.Repeat("x", 1<<20) + `"}`, "too large"},
+		{"bad json", `{"model": `, "bad request body", CodeBadRequest},
+		{"unknown field", `{"modle": "gpt2-s"}`, "unknown field", CodeBadRequest},
+		{"unknown model", `{"model": "gpt3"}`, "unknown model", CodeUnknownModel},
+		{"unknown gate", `{"gate": "softmax"}`, "unknown gate", CodeUnknownGate},
+		{"unknown framework", `{"framework": "megatron"}`, "unknown framework", CodeUnknownFramework},
+		{"unknown baseline", `{"baseline": "megatron"}`, "unknown framework", CodeUnknownFramework},
+		{"unknown cluster", `{"cluster": "H100"}`, "H100", CodeBadCluster},
+		{"bad gpu count", `{"gpus": 12}`, "12", CodeBadCluster},
+		{"negative skew", `{"skew": -1}`, "non-negative", CodeBadRouting},
+		{"skew and routing", `{"skew": 1, "routing": {"kind": "zipf", "alpha": 1}}`, "not both", CodeConflictingFields},
+		{"unknown routing kind", `{"routing": {"kind": "pareto"}}`, "unknown routing kind", CodeBadRouting},
+		{"zipf without alpha", `{"routing": {"kind": "zipf"}}`, "alpha > 0", CodeBadRouting},
+		{"zipf with hot share", `{"routing": {"kind": "zipf", "alpha": 1, "hot_share": 0.5}}`, "no hot_share", CodeBadRouting},
+		{"hot share out of range", `{"routing": {"kind": "hot", "hot_share": 1.5}}`, "hot_share < 1", CodeBadRouting},
+		{"uniform with params", `{"routing": {"kind": "uniform", "alpha": 2}}`, "no alpha", CodeBadRouting},
+		{"baseline equals framework", `{"framework": "tutel", "baseline": "tutel"}`, "use baseline", CodeConflictingFields},
+		{"negative options", `{"options": {"max_partitions": -1}}`, "non-negative", CodeBadRequest},
+		{"oversized body", `{"model": "` + strings.Repeat("x", 1<<20) + `"}`, "too large", CodeBadRequest},
+		{"conflicting fleet", `{"cluster": "V100", "classes": [{"gpu": "A100", "nodes": 2}]}`, "not both", CodeConflictingFields},
+		{"bad topology", `{"topology": {"oversub": 0.5}}`, "Oversubscription", CodeBadTopology},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -66,8 +82,12 @@ func TestPlanRejectsBadRequests(t *testing.T) {
 			if w.Code != http.StatusBadRequest {
 				t.Fatalf("status = %d, want 400", w.Code)
 			}
-			if msg := decodeError(t, w); !strings.Contains(msg, tc.wantInError) {
-				t.Errorf("error %q does not mention %q", msg, tc.wantInError)
+			e := decodeEnvelope(t, w)
+			if !strings.Contains(e.Err.Message, tc.wantInError) {
+				t.Errorf("error %q does not mention %q", e.Err.Message, tc.wantInError)
+			}
+			if e.Err.Code != tc.wantCode {
+				t.Errorf("error code = %q, want %q", e.Err.Code, tc.wantCode)
 			}
 		})
 	}

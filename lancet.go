@@ -23,6 +23,7 @@ package lancet
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"strconv"
 	"strings"
@@ -264,6 +265,16 @@ type Options struct {
 	// slow ones, and comparing it against the default quantifies what
 	// knowing the fleet mix buys.
 	AssumeUniformHardware bool
+	// PlanProfile, when non-nil, makes the partition DP price all-to-alls
+	// against this routing profile instead of the session workload's own,
+	// while simulation still replays the session's real traffic. It
+	// generalizes AssumeUniformRouting (which is PlanProfile = the uniform
+	// shape) to arbitrary stale shapes, and is what lets the drift
+	// experiment replay today's traffic under a plan priced for
+	// yesterday's (DESIGN.md §16). Takes precedence over
+	// AssumeUniformRouting when both are set. The profile must be shaped
+	// for the session's device count.
+	PlanProfile *netsim.RoutingProfile
 	// Hint seeds the partition DP with a neighboring configuration's
 	// chosen pipelines — typically the adjacent sweep grid point's
 	// Plan.Pipelines (DESIGN.md §14). A good hint cuts DP evaluations
@@ -313,9 +324,13 @@ type Session struct {
 
 	costRAF *cost.Model
 
-	mu        sync.Mutex              // guards profiles and costBlind; plans of one session may run concurrently
+	mu        sync.Mutex              // guards profiles, costBlind and workloadProfile; plans of one session may run concurrently
 	profiles  map[int]*routingProfile // cache: micro-batch count -> profile
 	costBlind map[string]*cost.Model  // lazy: planner-blindness ablation models (flat topology, uniform hardware)
+	// workloadProfile, when set via SetWorkloadProfile, replaces the
+	// parametric gate-proxy workload entirely: planning prices and
+	// simulation replays this streamed traffic shape (DESIGN.md §16).
+	workloadProfile *netsim.RoutingProfile
 }
 
 // routingProfile is what one functional gate run over a proxy batch tells
@@ -400,22 +415,35 @@ type Plan struct {
 	spec     baselines.Spec
 	overlaps bool // uses Lancet's irregular all-to-all implementation
 
-	// Irregular-override maps are derived once per plan (the graph is
-	// immutable after planning) and shared by every subsequent PredictUs /
-	// Simulate call, so concurrent simulations of one plan don't re-walk
-	// the routing profiles (DESIGN.md §13).
-	ovOnce  sync.Once
+	// Irregular-override maps are derived once per (plan, streamed-traffic
+	// fingerprint): the graph is immutable after planning, so the overrides
+	// only change when SetWorkloadProfile swaps the session's traffic.
+	// Between swaps they are shared by every PredictUs / Simulate call, so
+	// concurrent simulations of one plan don't re-walk the routing profiles
+	// (DESIGN.md §13); after a swap the next simulation re-derives them, so
+	// a stale plan replays the *new* traffic (DESIGN.md §16).
+	ovMu    sync.Mutex
+	ovDone  bool
+	ovFP    uint64
 	ovBytes map[int]int64
 	ovDur   map[int]float64
 	ovErr   error
 }
 
 // overrides resolves the plan's irregular all-to-all overrides, computing
-// them on first use.
+// them on first use and again whenever the session's streamed workload
+// profile has changed since they were derived.
 func (p *Plan) overrides() (map[int]int64, map[int]float64, error) {
-	p.ovOnce.Do(func() {
+	fp := uint64(0)
+	if wp := p.sess.StreamedProfile(); wp != nil {
+		fp = wp.Fingerprint()
+	}
+	p.ovMu.Lock()
+	defer p.ovMu.Unlock()
+	if !p.ovDone || p.ovFP != fp {
 		p.ovBytes, p.ovDur, p.ovErr = p.sess.irregularOverrides(p.Graph)
-	})
+		p.ovDone, p.ovFP = true, fp
+	}
 	return p.ovBytes, p.ovDur, p.ovErr
 }
 
@@ -431,13 +459,57 @@ type CostStats = cost.CacheStats
 func (s *Session) CostStats() CostStats { return s.costRAF.Stats() }
 
 // skewedWorkload reports whether the session's routing deviates from the
-// balanced workload.
-func (s *Session) skewedWorkload() bool { return s.WorkloadSkew > 0 || s.WorkloadHotExpert > 0 }
+// balanced workload — via the parametric skew knobs or a streamed profile.
+func (s *Session) skewedWorkload() bool {
+	return s.WorkloadSkew > 0 || s.WorkloadHotExpert > 0 || s.StreamedProfile() != nil
+}
+
+// StreamedProfile returns the streamed workload profile installed by
+// SetWorkloadProfile, or nil when the session routes its parametric
+// workload.
+func (s *Session) StreamedProfile() *netsim.RoutingProfile {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.workloadProfile
+}
+
+// SetWorkloadProfile installs a streamed routing profile as the session's
+// workload (DESIGN.md §16): planning prices against p's traffic shape and
+// simulation replays it, replacing the parametric gate proxy entirely. The
+// drift loop calls this each time a session's decayed traffic snapshot
+// supersedes the profile the live plan was built from; passing nil reverts
+// to the parametric workload. The superseded fingerprint's memoized prices
+// are dropped from the session's cost models — a long-lived serving
+// session must not accumulate one interpolation table per drift step — so
+// plans computed before the swap replay the *new* traffic on their next
+// simulation, which is exactly the stale-plan-under-fresh-traffic replay
+// the drift experiment measures.
+func (s *Session) SetWorkloadProfile(p *netsim.RoutingProfile) error {
+	if err := s.costRAF.ValidateProfile(p); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old := s.workloadProfile; old != nil && (p == nil || p.Fingerprint() != old.Fingerprint()) {
+		s.costRAF.InvalidateProfile(old.Fingerprint())
+		for _, m := range s.costBlind {
+			m.InvalidateProfile(old.Fingerprint())
+		}
+	}
+	s.workloadProfile = p
+	// Cached per-k dispatch statistics describe the superseded workload.
+	s.profiles = make(map[int]*routingProfile)
+	return nil
+}
 
 // RoutingProfile returns the per-pair traffic histogram of the session's
 // workload, produced by functionally routing a proxy batch through the
 // configured gate (DESIGN.md §10). Balanced workloads return nil: every
-// consumer treats nil as "price with the closed-form uniform model".
+// consumer treats nil as "price with the closed-form uniform model". For a
+// streamed workload the histogram is the *delivered* traffic — the
+// installed profile after expert capacity has clipped over-subscribed
+// destinations — which is the shape planning prices and simulation
+// replays.
 func (s *Session) RoutingProfile() (*netsim.RoutingProfile, error) {
 	prof, _, err := s.routingContext()
 	return prof, err
@@ -553,6 +625,12 @@ func (s *Session) Lancet(opts Options) (*Plan, error) {
 		if opts.AssumeUniformRouting && prof != nil {
 			// Keep the routed volume, erase the traffic shape.
 			prof = netsim.UniformProfile(s.Cluster.TotalGPUs())
+		}
+		if opts.PlanProfile != nil {
+			if err := planCost.ValidateProfile(opts.PlanProfile); err != nil {
+				return nil, fmt.Errorf("lancet: plan profile: %w", err)
+			}
+			prof = opts.PlanProfile
 		}
 		popts.Profile, popts.PayloadFraction = prof, frac
 		if popts.GroupUs == 0 {
@@ -908,8 +986,15 @@ func (s *Session) profile(k int) (*routingProfile, error) {
 	if p, ok := s.profiles[k]; ok {
 		return p, nil
 	}
+	if s.workloadProfile != nil {
+		p := syntheticProfile(s.workloadProfile, k, s.Config.CapacityFactor)
+		s.profiles[k] = p
+		return p, nil
+	}
 	devices := s.Cluster.TotalGPUs()
-	if devices > 16 && !s.skewedWorkload() {
+	// workloadProfile is nil here, so the direct knob check is the full
+	// skewedWorkload predicate (which would re-lock mu).
+	if devices > 16 && s.WorkloadSkew <= 0 && s.WorkloadHotExpert <= 0 {
 		devices = 16 // balanced routing fractions saturate; keep the proxy cheap
 	}
 	key := proxyKey{
@@ -953,7 +1038,9 @@ func (s *Session) profile(k int) (*routingProfile, error) {
 		counts:         stats.SendTokens,
 		hotExpertShare: stats.HottestExpertShare(),
 	}
-	if s.skewedWorkload() {
+	// Direct knob check again: skewedWorkload would re-lock mu, and the
+	// streamed-profile leg returned earlier in this function.
+	if s.WorkloadSkew > 0 || s.WorkloadHotExpert > 0 {
 		np, err := netsim.ProfileFromCounts(stats.SendTokens)
 		if err != nil {
 			return nil, fmt.Errorf("lancet: routing profile from gate counts: %w", err)
@@ -971,6 +1058,84 @@ func (s *Session) profile(k int) (*routingProfile, error) {
 	proxyCache.Store(key, p)
 	s.profiles[k] = p
 	return p, nil
+}
+
+// syntheticProfile packages a streamed routing profile as the per-k
+// dispatch statistics the planner and simulator consume. The streamed
+// histogram carries no micro-batch structure, so a k-way split is modeled
+// as k equal shares of the delivered payload each moving the same traffic
+// shape; tokens is the histogram's per-device mean, which makes the replay
+// scale in irregularOverrides resolve to the session's full per-GPU token
+// budget (capped at the padded cost, as always).
+//
+// Capacity applies to streamed traffic exactly as the functional gate
+// applies it to proxied batches: each destination absorbs at most its
+// uniform share of the padded budget (capacityFactor times the balanced
+// split), and tokens routed beyond that are dropped. Over-capacity
+// destinations have their columns scaled down to the cap, so the delivered
+// shape, the routed volume and the padded-payload shares all mirror what
+// RouteOnly reports for a skewed batch — which is what lets the partition
+// DP price a drifted profile below the padded ceiling and choose a
+// different plan for it.
+func syntheticProfile(wp *netsim.RoutingProfile, k int, capacityFactor float64) *routingProfile {
+	if capacityFactor <= 0 {
+		capacityFactor = 1
+	}
+	counts64 := wp.Counts()
+	devices := wp.Devices()
+	offered := int64(0)
+	ingress := make([]float64, devices)
+	for _, row := range counts64 {
+		for j, v := range row {
+			offered += v
+			ingress[j] += float64(v)
+		}
+	}
+	capPer := float64(offered) * capacityFactor / float64(devices)
+	counts := make([][]int, devices)
+	routed := int64(0)
+	capped := false
+	for i, row := range counts64 {
+		counts[i] = make([]int, devices)
+		for j, v := range row {
+			d := float64(v)
+			if ingress[j] > capPer {
+				d = d * capPer / ingress[j]
+				capped = true
+			}
+			c := int(math.Round(d))
+			counts[i][j] = c
+			routed += int64(c)
+		}
+	}
+	net := wp
+	if capped {
+		if np, err := netsim.ProfileFromCounts(counts); err == nil {
+			net = np
+		}
+	}
+	tokens := int(offered) / devices
+	if tokens < 1 {
+		tokens = 1
+	}
+	// The padded exchange carries capacityFactor times the offered volume;
+	// shares are the delivered fraction of it, split evenly across the k
+	// micro-batches.
+	share := float64(routed) / (float64(offered) * capacityFactor)
+	shares := make([]float64, k)
+	for i := range shares {
+		shares[i] = share / float64(k)
+	}
+	return &routingProfile{
+		devices:        devices,
+		tokens:         tokens,
+		routed:         int(routed),
+		dropped:        int(offered - routed),
+		counts:         counts,
+		shares:         shares,
+		hotExpertShare: net.MaxIngressShare(),
+		net:            net,
+	}
 }
 
 // makeProxyInputs builds deterministic token batches for the routing proxy.
