@@ -83,6 +83,11 @@ type Report struct {
 	DriftUpdates int   `json:"drift_updates,omitempty"`
 	DriftErrors  int64 `json:"drift_errors,omitempty"`
 
+	// WhatIfRequests / WhatIfErrors cover the -what-if-mix injection phase:
+	// plan requests carrying node-loss scenarios (DESIGN.md §17).
+	WhatIfRequests int   `json:"what_if_requests,omitempty"`
+	WhatIfErrors   int64 `json:"what_if_errors,omitempty"`
+
 	Stats service.StatsResponse `json:"stats"`
 }
 
@@ -104,6 +109,8 @@ func run(args []string, stdout io.Writer) error {
 			"stream this many /v1/routing gate-count updates with a wandering Zipf exponent (0 disables the drift phase)")
 		minReplans = fs.Int64("min-replans", 0,
 			"fail unless the drift loop completed at least this many background re-plans")
+		whatIfMix = fs.Int("what-if-mix", 0,
+			"drive this many /v1/plan requests carrying node-loss what_if scenarios (0 disables the what-if phase)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -187,6 +194,10 @@ func run(args []string, stdout io.Writer) error {
 	if *driftUpdates > 0 {
 		driftErrs = injectDrift(handler, *driftUpdates)
 	}
+	var whatIfErrs int64
+	if *whatIfMix > 0 {
+		whatIfErrs = injectWhatIf(handler, *whatIfMix)
+	}
 	// Closing drains the background re-plan queue, so the drift counters in
 	// the report are final, not a snapshot racing the worker.
 	svc.Close()
@@ -197,18 +208,20 @@ func run(args []string, stdout io.Writer) error {
 	}
 	sort.Float64s(all)
 	rep := Report{
-		Requests:     *requests,
-		Keys:         *keys,
-		Zipf:         *zipfS,
-		Parallel:     *parallel,
-		Errors:       errCount,
-		DurationMs:   float64(elapsed.Nanoseconds()) / 1e6,
-		P50Ms:        percentile(all, 0.50),
-		P90Ms:        percentile(all, 0.90),
-		P99Ms:        percentile(all, 0.99),
-		DriftUpdates: *driftUpdates,
-		DriftErrors:  driftErrs,
-		Stats:        svc.Stats(),
+		Requests:       *requests,
+		Keys:           *keys,
+		Zipf:           *zipfS,
+		Parallel:       *parallel,
+		Errors:         errCount,
+		DurationMs:     float64(elapsed.Nanoseconds()) / 1e6,
+		P50Ms:          percentile(all, 0.50),
+		P90Ms:          percentile(all, 0.90),
+		P99Ms:          percentile(all, 0.99),
+		DriftUpdates:   *driftUpdates,
+		DriftErrors:    driftErrs,
+		WhatIfRequests: *whatIfMix,
+		WhatIfErrors:   whatIfErrs,
+		Stats:          svc.Stats(),
 	}
 	if len(all) > 0 {
 		rep.MaxMs = all[len(all)-1]
@@ -226,6 +239,9 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if driftErrs > 0 {
 		return fmt.Errorf("%d of %d drift updates failed", driftErrs, *driftUpdates)
+	}
+	if whatIfErrs > 0 {
+		return fmt.Errorf("%d of %d what-if requests failed", whatIfErrs, *whatIfMix)
 	}
 	if hr := rep.Stats.PlanTiers.CombinedHitRate; hr < *minHitRate {
 		return fmt.Errorf("combined cache hit rate %.3f below required %.3f", hr, *minHitRate)
@@ -281,6 +297,30 @@ func injectDrift(h http.Handler, n int) int64 {
 			continue
 		}
 		req, err := http.NewRequest(http.MethodPost, "http://lancet-load/v1/routing", strings.NewReader(string(body)))
+		if err != nil {
+			errs++
+			continue
+		}
+		rec := &nullResponseWriter{}
+		h.ServeHTTP(rec, req)
+		if rec.code != http.StatusOK {
+			errs++
+		}
+	}
+	return errs
+}
+
+// injectWhatIf drives n /v1/plan requests carrying node-loss what_if
+// scenarios against the default configuration, alternating between two
+// lost-node sets: the first request per set pays the full scenario (base
+// plan, degraded replay, warm and cold re-plan), the rest must come back
+// byte-identical from the plan store — the what-if path's cacheability
+// claim (DESIGN.md §17). Returns the count of non-200 responses.
+func injectWhatIf(h http.Handler, n int) int64 {
+	errs := int64(0)
+	for i := 0; i < n; i++ {
+		body := fmt.Sprintf(`{"framework": "lancet", "baseline": "none", "what_if": {"lost_nodes": [%d]}}`, i%2)
+		req, err := http.NewRequest(http.MethodPost, "http://lancet-load/v1/plan", strings.NewReader(body))
 		if err != nil {
 			errs++
 			continue

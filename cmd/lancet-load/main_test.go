@@ -148,3 +148,21 @@ func TestLoadRejectsBadFlags(t *testing.T) {
 		}
 	}
 }
+
+func TestLoadWhatIfInjection(t *testing.T) {
+	rep, err := loadReport(t,
+		"-requests", "10", "-keys", "2", "-parallel", "1",
+		"-what-if-mix", "6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WhatIfRequests != 6 || rep.WhatIfErrors != 0 {
+		t.Errorf("what-if phase: %d requests, %d errors, want 6 and 0", rep.WhatIfRequests, rep.WhatIfErrors)
+	}
+	// Two lost-node sets alternate across six requests: two scenario
+	// computations, four byte-identical plan-store hits.
+	tiers := rep.Stats.PlanTiers
+	if tiers.MemoryHits < 4 {
+		t.Errorf("what-if mix hit the plan store %d times, want >= 4", tiers.MemoryHits)
+	}
+}

@@ -15,6 +15,8 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"text/tabwriter"
 
 	"lancet"
@@ -42,6 +44,8 @@ func main() {
 		hot       = flag.Float64("hot", 0, "fraction of tokens biased toward one hot expert (0 = balanced, exclusive with -skew)")
 		oversub   = flag.Float64("oversub", 0, "spine oversubscription factor (0/1 = flat non-blocking fabric); planning and simulation both price the hierarchy")
 		racksize  = flag.Int("racksize", 0, "nodes per rack switch (0 with -oversub > 1 = every node its own rack)")
+		shareF    = flag.Float64("spine-share", 0, "fraction of spine bandwidth this job keeps under multi-job contention (0/1 = sole tenant)")
+		lostF     = flag.String("lost-nodes", "", "comma-separated node indices for a node-loss what-if (Lancet framework only), e.g. 0,2")
 		parallel  = flag.Int("parallel", runtime.NumCPU(), "framework planning/simulation worker-pool size")
 		jsonOut   = flag.Bool("json", false, "emit the comparison as JSON instead of a table")
 	)
@@ -84,9 +88,10 @@ func main() {
 	} else if cluster, err = lancet.NewCluster(*clusterT, *gpus); err != nil {
 		log.Fatal(err)
 	}
-	if *oversub != 0 || *racksize != 0 {
-		// DefaultRacks: -oversub alone applies to all inter-node traffic.
-		topo := lancet.Topology{NodesPerRack: *racksize, Oversubscription: *oversub}.DefaultRacks()
+	if *oversub != 0 || *racksize != 0 || *shareF != 0 {
+		// DefaultRacks: -oversub or -spine-share alone applies to all
+		// inter-node traffic.
+		topo := lancet.Topology{NodesPerRack: *racksize, Oversubscription: *oversub, SpineShare: *shareF}.DefaultRacks()
 		if cluster, err = cluster.WithTopology(topo); err != nil {
 			log.Fatal(err)
 		}
@@ -103,6 +108,11 @@ func main() {
 	}
 	sess.WorkloadSkew = *skew
 	sess.WorkloadHotExpert = *hot
+	lost, err := parseLostNodes(*lostF)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := lancet.Options{MaxPartitions: *rho, PrioritizeAllToAll: *prio, LostNodes: lost}
 
 	frameworks := []string{lancet.FrameworkDeepSpeed, lancet.FrameworkRAF, lancet.FrameworkTutel, lancet.FrameworkLancet}
 	results := make([]fwResult, len(frameworks))
@@ -114,7 +124,7 @@ func main() {
 		workers = 1
 	}
 	pool.ForEachIndexed(context.Background(), len(frameworks), workers, func(i int) {
-		results[i] = runFramework(sess, frameworks[i], *seed, *rho, *prio)
+		results[i] = runFramework(sess, frameworks[i], *seed, opts)
 	})
 
 	for _, r := range results {
@@ -173,6 +183,33 @@ func main() {
 	if speedup > 0 {
 		fmt.Printf("\nLancet speedup over best baseline: %.2fx\n", speedup)
 	}
+	for _, r := range results {
+		if wi := r.WhatIf; wi != nil {
+			fmt.Printf("\nwhat-if: lose nodes %v (%d of %d GPUs): degraded replay %.1f ms (%.2fx slower than intact), "+
+				"warm re-plan %.1f ms (%.2fx back), DP evals %d warm vs %d cold\n",
+				wi.LostNodes, wi.LostGPUs, wi.LostGPUs+wi.SurvivorGPUs,
+				wi.DegradedMs, wi.DegradedSlowdown, wi.ReplannedMs, wi.ReplanSpeedup,
+				wi.ReplanDPEvaluations, wi.ColdDPEvaluations)
+		}
+	}
+}
+
+// parseLostNodes parses the -lost-nodes flag: a comma-separated list of
+// non-negative node indices.
+func parseLostNodes(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	lost := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("-lost-nodes: %q is not a non-negative node index", p)
+		}
+		lost = append(lost, n)
+	}
+	return lost, nil
 }
 
 // fwResult is one framework's planned-and-simulated outcome. The numbers
@@ -183,8 +220,8 @@ type fwResult struct {
 	Err string `json:"error,omitempty"`
 }
 
-func runFramework(sess *lancet.Session, fw string, seed int64, rho int, prio bool) fwResult {
-	res, err := service.Compute(sess, fw, seed, lancet.Options{MaxPartitions: rho, PrioritizeAllToAll: prio})
+func runFramework(sess *lancet.Session, fw string, seed int64, opts lancet.Options) fwResult {
+	res, err := service.Compute(sess, fw, seed, opts)
 	if err != nil {
 		return fwResult{Result: service.Result{Framework: fw}, Err: err.Error()}
 	}

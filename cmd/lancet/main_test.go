@@ -1,0 +1,32 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseLostNodes(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    []int
+		wantErr bool
+	}{
+		{"", nil, false},
+		{"0", []int{0}, false},
+		{"0,3", []int{0, 3}, false},
+		{" 1 , 2 ", []int{1, 2}, false},
+		{"-1", nil, true},
+		{"0,x", nil, true},
+		{"0,,1", nil, true},
+	}
+	for _, tc := range cases {
+		got, err := parseLostNodes(tc.in)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("parseLostNodes(%q) error = %v, wantErr %v", tc.in, err, tc.wantErr)
+			continue
+		}
+		if !tc.wantErr && !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("parseLostNodes(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}

@@ -20,7 +20,7 @@ func withTempExperiment(t *testing.T, e Experiment) {
 // from the per-file registration stanzas.
 var canonicalNames = []string{
 	"fig2", "fig6", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
-	"equiv", "a2a-padding", "shared-expert", "comm-priority", "skew", "skew_planning", "topology_planning", "hetero_planning", "drift_planning", "imbalance", "fsdp", "fastermoe",
+	"equiv", "a2a-padding", "shared-expert", "comm-priority", "skew", "skew_planning", "topology_planning", "hetero_planning", "drift_planning", "node_loss", "elastic_resize", "multi_job_contention", "imbalance", "fsdp", "fastermoe",
 }
 
 func TestRegistryHoldsFullSuiteInOrder(t *testing.T) {

@@ -8,7 +8,7 @@ import (
 
 func init() {
 	Register(Experiment{
-		Name: "imbalance", Order: 140,
+		Name: "imbalance", Order: 145,
 		Desc: "end-to-end skewed expert popularity on the link-level network simulator",
 		Run:  func(Params) (*Table, error) { return Imbalance() },
 	})

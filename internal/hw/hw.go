@@ -106,6 +106,13 @@ type Topology struct {
 	// crosses racks: 2 means the spine carries half the leaf bandwidth (a
 	// 2:1 oversubscribed fabric). 0 means 1 (non-blocking spine).
 	Oversubscription float64
+	// SpineShare is the fraction of the spine bandwidth this job actually
+	// receives when the fabric is shared with other tenants: 0.5 models two
+	// equal jobs contending for the same spine, 0.25 four. Valid range
+	// (0, 1]; 0 means 1 (sole tenant). NVLink and rack tiers are
+	// unaffected — multi-job contention converges at the spine
+	// (DESIGN.md §17).
+	SpineShare float64
 }
 
 // Oversub returns the effective oversubscription factor (>= 1; the zero
@@ -117,13 +124,23 @@ func (t Topology) Oversub() float64 {
 	return t.Oversubscription
 }
 
+// Share returns the effective spine bandwidth share (in (0, 1]; the zero
+// value reads as sole tenancy).
+func (t Topology) Share() float64 {
+	if t.SpineShare == 0 {
+		return 1
+	}
+	return t.SpineShare
+}
+
 // DefaultRacks resolves the request-layer convention shared by the CLI
-// (-oversub) and the serving layer (topology.oversub): an oversubscribed
-// spec without an explicit rack size means per-node racks, so the factor
-// applies to all inter-node traffic. Topology semantics proper are
-// unchanged — a zero NodesPerRack still means one rack.
+// (-oversub, -spine-share) and the serving layer (topology.oversub /
+// topology.spine_share): an oversubscribed or contended spec without an
+// explicit rack size means per-node racks, so the factor applies to all
+// inter-node traffic. Topology semantics proper are unchanged — a zero
+// NodesPerRack still means one rack.
 func (t Topology) DefaultRacks() Topology {
-	if t.NodesPerRack == 0 && t.Oversubscription > 1 {
+	if t.NodesPerRack == 0 && (t.Oversubscription > 1 || (t.SpineShare != 0 && t.SpineShare < 1)) {
 		t.NodesPerRack = 1
 	}
 	return t
@@ -136,6 +153,10 @@ func (t Topology) validate() error {
 	}
 	if o := t.Oversubscription; o != 0 && (o < 1 || math.IsNaN(o) || math.IsInf(o, 0)) {
 		return &SpecError{Field: "Topology.Oversubscription", Value: o}
+	}
+	if s := t.SpineShare; s != 0 && !(s > 0 && s <= 1) {
+		// NaN fails s > 0, so the pathological spellings land here too.
+		return &SpecError{Field: "Topology.SpineShare", Value: s}
 	}
 	return nil
 }
@@ -474,6 +495,52 @@ func ClusterFromClasses(classes []NodeClass) (Cluster, error) {
 	return base.WithClasses(classes...)
 }
 
+// RemoveNodes returns the cluster with the given global node indices
+// removed — the degraded fleet a node-loss what-if plans against
+// (DESIGN.md §17). Indices are deduplicated and must each lie in
+// [0, Nodes); at least one node must survive. Survivors keep their
+// relative order and re-pack densely: racks regroup over the remaining
+// nodes in order, so the degraded fabric has no holes, and on a mixed
+// fleet each class simply shrinks by its lost nodes (a fleet collapsing
+// to one class degenerates to the uniform form, as always).
+func (c Cluster) RemoveNodes(lost []int) (Cluster, error) {
+	if len(lost) == 0 {
+		return c, nil
+	}
+	seen := make(map[int]bool, len(lost))
+	for _, n := range lost {
+		if n < 0 || n >= c.Nodes {
+			return Cluster{}, fmt.Errorf("hw: lost node %d out of range [0, %d)", n, c.Nodes)
+		}
+		seen[n] = true
+	}
+	if len(seen) >= c.Nodes {
+		return Cluster{}, fmt.Errorf("hw: cannot lose all %d nodes", c.Nodes)
+	}
+	if !c.Heterogeneous() {
+		c.Nodes -= len(seen)
+		if err := c.Validate(); err != nil {
+			return Cluster{}, err
+		}
+		return c, nil
+	}
+	classes := make([]NodeClass, 0, len(c.Classes))
+	node := 0
+	for _, nc := range c.Classes {
+		kept := nc
+		for i := 0; i < nc.Count; i++ {
+			if seen[node+i] {
+				kept.Count--
+			}
+		}
+		node += nc.Count
+		if kept.Count > 0 {
+			classes = append(classes, kept)
+		}
+	}
+	return c.WithClasses(classes...)
+}
+
 // Heterogeneous reports whether the fleet mixes node classes.
 func (c Cluster) Heterogeneous() bool { return len(c.Classes) > 0 }
 
@@ -511,9 +578,22 @@ func (c Cluster) classList() []NodeClass {
 	return []NodeClass{c.baseClass()}
 }
 
+// checkRank panics when a global GPU rank lies outside the fleet. Rank
+// arithmetic (ClassOf, nodeOf and the tier classifiers built on them) would
+// otherwise silently map an out-of-range rank onto the last class or node
+// and price garbage — exactly what a node-loss path indexing a dropped rank
+// would hit. Out-of-range ranks are a caller bug, so the contract is panic,
+// not clamp (DESIGN.md §11, §12).
+func (c Cluster) checkRank(rank int) {
+	if rank < 0 || rank >= c.TotalGPUs() {
+		panic(fmt.Sprintf("hw: GPU rank %d out of range [0, %d) on cluster %s", rank, c.TotalGPUs(), c.Name))
+	}
+}
+
 // ClassOf returns the index (into Classes) of the class hosting a global
-// GPU rank; 0 on a uniform cluster.
+// GPU rank; 0 on a uniform cluster. Panics on an out-of-range rank.
 func (c Cluster) ClassOf(rank int) int {
+	c.checkRank(rank)
 	if !c.Heterogeneous() {
 		return 0
 	}
@@ -528,17 +608,20 @@ func (c Cluster) ClassOf(rank int) int {
 }
 
 // classSpec resolves the class hosting a rank (the base class when
-// uniform).
+// uniform). Panics on an out-of-range rank.
 func (c Cluster) classSpec(rank int) NodeClass {
 	if !c.Heterogeneous() {
+		c.checkRank(rank)
 		return c.baseClass()
 	}
 	return c.Classes[c.ClassOf(rank)]
 }
 
 // nodeOf returns the global node index hosting a GPU rank, walking the
-// class layout when node sizes differ across classes.
+// class layout when node sizes differ across classes. Panics on an
+// out-of-range rank.
 func (c Cluster) nodeOf(rank int) int {
+	c.checkRank(rank)
 	if !c.Heterogeneous() {
 		return rank / c.Node.GPUsPerNode
 	}
@@ -638,10 +721,25 @@ func (c Cluster) Racks() int {
 }
 
 // FlatTopology reports whether the spine tier can never bound a transfer:
-// a single rack, or a non-blocking (1:1) spine. Flat clusters price
-// identically to the pre-topology closed forms.
+// a single rack, or a non-blocking (1:1) spine with no tenant contention.
+// Flat clusters price identically to the pre-topology closed forms.
 func (c Cluster) FlatTopology() bool {
-	return c.Racks() <= 1 || c.Topology.Oversub() <= 1
+	return c.Racks() <= 1 || (c.Topology.Oversub() <= 1 && c.Topology.Share() >= 1)
+}
+
+// Contended reports whether a fractional spine share actually binds: a
+// multi-rack fleet whose SpineShare is below 1. Single-rack fleets never
+// cross the spine, so a share there is inert.
+func (c Cluster) Contended() bool {
+	return c.Racks() > 1 && c.Topology.Share() < 1
+}
+
+// SoleTenant returns the cluster as a contention-blind planner believes it
+// to be: the spine share reset to sole tenancy, every other dimension
+// unchanged. On an uncontended cluster it is the identity.
+func (c Cluster) SoleTenant() Cluster {
+	c.Topology.SpineShare = 0
+	return c
 }
 
 // SameRack reports whether two global GPU ranks live under the same rack
@@ -664,9 +762,10 @@ func (c Cluster) TierOf(a, b int) Tier {
 }
 
 // SpineGBsPerGPU is the per-GPU share of inter-rack bandwidth in GB/s: the
-// NIC share divided by the spine's oversubscription factor.
+// NIC share divided by the spine's oversubscription factor and scaled by
+// the job's tenant share of the (possibly contended) spine.
 func (c Cluster) SpineGBsPerGPU() float64 {
-	return c.PerGPUNICGBs() / c.Topology.Oversub()
+	return c.PerGPUNICGBs() * c.Topology.Share() / c.Topology.Oversub()
 }
 
 // TierGBsPerGPU is the fleet-wide effective per-GPU bandwidth of the given
@@ -695,7 +794,7 @@ func (c Cluster) TierGBsPerGPUOf(rank int, t Tier) float64 {
 	case TierNIC:
 		return nc.PerGPUNICGBs()
 	default:
-		return nc.PerGPUNICGBs() / c.Topology.Oversub()
+		return nc.PerGPUNICGBs() * c.Topology.Share() / c.Topology.Oversub()
 	}
 }
 
@@ -746,6 +845,9 @@ func (c Cluster) String() string {
 	}
 	if !c.FlatTopology() {
 		s += fmt.Sprintf(", %d racks, %g:1 spine", c.Racks(), c.Topology.Oversub())
+		if share := c.Topology.Share(); share < 1 {
+			s += fmt.Sprintf(", %g spine share", share)
+		}
 	}
 	return s + "]"
 }

@@ -1,0 +1,168 @@
+package hw
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSpineShareValidation(t *testing.T) {
+	base, err := ClusterForGPUs("V100", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, share := range []float64{-0.5, 1.5, math.NaN(), math.Inf(1)} {
+		if _, err := base.WithTopology(Topology{NodesPerRack: 1, SpineShare: share}); err == nil {
+			t.Errorf("SpineShare %v accepted, want error", share)
+		}
+	}
+	for _, share := range []float64{0, 0.25, 0.5, 1} {
+		if _, err := base.WithTopology(Topology{NodesPerRack: 1, SpineShare: share}); err != nil {
+			t.Errorf("SpineShare %v rejected: %v", share, err)
+		}
+	}
+}
+
+func TestSpineShareBandwidthAndPredicates(t *testing.T) {
+	base, err := ClusterForGPUs("V100", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := base.WithTopology(Topology{NodesPerRack: 1, SpineShare: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !shared.Contended() {
+		t.Error("Contended() = false with a 0.5 spine share")
+	}
+	if shared.FlatTopology() {
+		t.Error("FlatTopology() = true with a contended spine")
+	}
+	if got, want := shared.SpineGBsPerGPU(), shared.PerGPUNICGBs()*0.5; got != want {
+		t.Errorf("SpineGBsPerGPU = %g, want %g (half the NIC share)", got, want)
+	}
+	if !strings.Contains(shared.String(), "0.5 spine share") {
+		t.Errorf("String() = %q does not mention the spine share", shared)
+	}
+
+	sole := shared.SoleTenant()
+	if sole.Contended() {
+		t.Error("SoleTenant().Contended() = true")
+	}
+	if got, want := sole.SpineGBsPerGPU(), sole.PerGPUNICGBs(); got != want {
+		t.Errorf("sole-tenant SpineGBsPerGPU = %g, want full NIC share %g", got, want)
+	}
+
+	// Share composes with oversubscription: both divide the spine leg.
+	both, err := base.WithTopology(Topology{NodesPerRack: 1, Oversubscription: 4, SpineShare: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := both.SpineGBsPerGPU(), both.PerGPUNICGBs()*0.5/4; got != want {
+		t.Errorf("SpineGBsPerGPU = %g with oversub 4 and share 0.5, want %g", got, want)
+	}
+	// The per-rank read-through agrees with the cluster-wide one on a
+	// uniform fleet.
+	if got := both.TierGBsPerGPUOf(0, TierSpine); got != both.SpineGBsPerGPU() {
+		t.Errorf("TierGBsPerGPUOf(0, spine) = %g, SpineGBsPerGPU = %g", got, both.SpineGBsPerGPU())
+	}
+}
+
+func TestDefaultRacksWithSpineShareAlone(t *testing.T) {
+	topo := Topology{SpineShare: 0.5}.DefaultRacks()
+	if topo.NodesPerRack != 1 {
+		t.Errorf("NodesPerRack = %d after DefaultRacks with a bare spine share, want 1", topo.NodesPerRack)
+	}
+	// A full share is the sole-tenant degenerate form: no implied racks.
+	if topo := (Topology{SpineShare: 1}).DefaultRacks(); topo.NodesPerRack != 0 {
+		t.Errorf("NodesPerRack = %d for share 1, want 0", topo.NodesPerRack)
+	}
+}
+
+func TestRemoveNodesUniform(t *testing.T) {
+	c, err := ClusterForGPUs("V100", 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.RemoveNodes([]int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TotalGPUs() != 24 || got.Nodes != 3 {
+		t.Errorf("after losing 1 of 4 nodes: %d GPUs on %d nodes, want 24 on 3", got.TotalGPUs(), got.Nodes)
+	}
+	got, err = c.RemoveNodes([]int{2, 0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TotalGPUs() != 16 {
+		t.Errorf("duplicate losses not deduplicated: %d GPUs, want 16", got.TotalGPUs())
+	}
+	if got, err := c.RemoveNodes(nil); err != nil || got.TotalGPUs() != 32 {
+		t.Errorf("empty loss list: %v GPUs, err %v; want identity", got.TotalGPUs(), err)
+	}
+	for _, lost := range [][]int{{4}, {-1}, {0, 1, 2, 3}} {
+		if _, err := c.RemoveNodes(lost); err == nil {
+			t.Errorf("RemoveNodes(%v) accepted, want error", lost)
+		}
+	}
+}
+
+func TestRemoveNodesHetero(t *testing.T) {
+	c := mixedCluster(t) // 2 A100 nodes (0, 1) + 1 V100 node (2)
+	// Losing the V100 node collapses the fleet to the uniform A100 form.
+	got, err := c.RemoveNodes([]int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Heterogeneous() {
+		t.Errorf("single-class survivor fleet still heterogeneous: %v", got)
+	}
+	if got.TotalGPUs() != 16 || !strings.Contains(got.Name, "A100") {
+		t.Errorf("after losing the V100 node: %d GPUs on %q, want 16 on an A100 fleet", got.TotalGPUs(), got.Name)
+	}
+	// Losing one A100 node keeps the mix, one node per class.
+	got, err = c.RemoveNodes([]int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Heterogeneous() || got.TotalGPUs() != 16 {
+		t.Errorf("after losing 1 A100 node: %d GPUs, hetero %v; want 16, true", got.TotalGPUs(), got.Heterogeneous())
+	}
+	if got.SlowestTFLOPs() == got.FastestTFLOPs() {
+		t.Error("survivor mix lost its speed spread; V100 slice should remain")
+	}
+}
+
+// TestRankBoundsPanic pins the defensive contract on the rank-indexed
+// topology accessors (DESIGN.md §11, §12): an out-of-range rank is a caller
+// bug and panics instead of silently aliasing node or class 0.
+func TestRankBoundsPanic(t *testing.T) {
+	c, err := ClusterForGPUs("V100", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		call func()
+	}{
+		{"ClassOf negative", func() { c.ClassOf(-1) }},
+		{"TierOf past end", func() { c.TierOf(0, 16) }},
+		{"SameNode past end", func() { c.SameNode(99, 0) }},
+		{"hetero ClassOf", func() { mixedCluster(t).ClassOf(24) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatal("no panic on out-of-range rank")
+				}
+				if msg, ok := r.(string); !ok || !strings.Contains(msg, "out of range") {
+					t.Fatalf("panic = %v, want a message naming the range", r)
+				}
+			}()
+			tc.call()
+		})
+	}
+}

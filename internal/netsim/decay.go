@@ -58,6 +58,12 @@ func (d *DecayedProfile) Ingest(counts [][]int64) error {
 			if v < 0 {
 				return fmt.Errorf("netsim: negative routing update count at [%d][%d]", src, dst)
 			}
+			if v > math.MaxInt64-total {
+				// A wrapped total would pass the no-tokens check below with
+				// garbage weights; reject the pathological update instead
+				// (mirroring ProfileFromCounts's overflow rejection).
+				return fmt.Errorf("netsim: routing update counts overflow at [%d][%d]", src, dst)
+			}
 			total += v
 		}
 	}

@@ -33,6 +33,17 @@ func TestDecayedProfileRejectsBadUpdates(t *testing.T) {
 	if d.Updates() != 1 {
 		t.Errorf("updates = %d, want 1 (only the valid ingest counts)", d.Updates())
 	}
+	// An update whose total would wrap int64 must be rejected, not blended
+	// in with garbage weights (mirrors ProfileFromCounts's overflow guard).
+	if err := d.Ingest([][]int64{{math.MaxInt64, 1}, {0, 0}}); err == nil {
+		t.Error("overflowing update accepted")
+	}
+	if err := d.Ingest([][]int64{{math.MaxInt64 / 2, math.MaxInt64 / 2}, {0, 3}}); err == nil {
+		t.Error("overflow via accumulation accepted")
+	}
+	if d.Updates() != 1 {
+		t.Errorf("updates = %d after rejected overflows, want 1", d.Updates())
+	}
 }
 
 func TestDecayedProfileConvergesToStableTraffic(t *testing.T) {

@@ -35,12 +35,35 @@ type Result struct {
 	// works across cache hits and process restarts alike.
 	Pipelines []lancet.PipelineHint `json:"pipelines,omitempty"`
 
+	// WhatIf carries the node-loss scenario answer when the request asked
+	// for one (DESIGN.md §17). Deterministic in the inputs — the scenario's
+	// latencies are fixed-seed simulation means — so cached and fresh
+	// responses stay byte-identical.
+	WhatIf *WhatIfResult `json:"what_if,omitempty"`
+
 	// evaluations counts the plan's partition-DP evaluations. Unexported
 	// and deliberately absent from the JSON encoding: a warm-started
 	// computation spends fewer evaluations than a cold one, and responses
 	// must stay byte-identical either way. The service folds it into the
 	// /v1/stats dp_evaluations counter at compute time instead.
 	evaluations int
+}
+
+// WhatIfResult is the JSON shape of a node-loss what-if answer
+// (DESIGN.md §17), mirroring lancet.NodeLossReport.
+type WhatIfResult struct {
+	LostNodes        []int   `json:"lost_nodes"`
+	LostGPUs         int     `json:"lost_gpus"`
+	SurvivorGPUs     int     `json:"survivor_gpus"`
+	IntactMs         float64 `json:"intact_ms"`
+	DegradedMs       float64 `json:"degraded_ms"`
+	ReplannedMs      float64 `json:"replanned_ms"`
+	DegradedSlowdown float64 `json:"degraded_slowdown"`
+	ReplanSpeedup    float64 `json:"replan_speedup"`
+	// ReplanDPEvaluations and ColdDPEvaluations are the warm-started and
+	// cold re-plan's partition-DP costs — what the stale plan's hint buys.
+	ReplanDPEvaluations int `json:"replan_dp_evaluations"`
+	ColdDPEvaluations   int `json:"cold_dp_evaluations"`
 }
 
 // Compute plans framework fw on the session and simulates one iteration
@@ -96,6 +119,25 @@ func Compute(sess *lancet.Session, fw string, seed int64, opts lancet.Options) (
 		}
 		res.Notes = fmt.Sprintf("%d pipelines%s, dW overlap %.1f ms, rho %d",
 			plan.PipelineRanges, ks, plan.DWOverlapUs/1000, plan.RhoUsed)
+	}
+	if fw == lancet.FrameworkLancet && len(opts.LostNodes) > 0 {
+		rep, err := sess.NodeLoss(plan, opts, seed)
+		if err != nil {
+			return res, err
+		}
+		res.WhatIf = &WhatIfResult{
+			LostNodes:           rep.LostNodes,
+			LostGPUs:            rep.LostGPUs,
+			SurvivorGPUs:        rep.SurvivorGPUs,
+			IntactMs:            rep.IntactMs,
+			DegradedMs:          rep.DegradedMs,
+			ReplannedMs:         rep.ReplannedMs,
+			DegradedSlowdown:    rep.DegradedSlowdown,
+			ReplanSpeedup:       rep.ReplanSpeedup,
+			ReplanDPEvaluations: rep.ReplanEvaluations,
+			ColdDPEvaluations:   rep.ColdEvaluations,
+		}
+		res.evaluations += rep.ReplanEvaluations + rep.ColdEvaluations
 	}
 	return res, nil
 }

@@ -3,6 +3,7 @@ package service
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 	"sync"
@@ -229,6 +230,38 @@ func (s *Service) Close() {
 	}
 }
 
+// validateCounts rejects a malformed gate-count matrix before anything is
+// created or ingested: wrong shape, negative cells, and totals that would
+// wrap int64 (mirroring ProfileFromCounts's overflow rejection — a wrapped
+// total would otherwise flow garbage weights into the decayed accumulator).
+// DecayedProfile.Ingest re-checks all of this, but by then a drift session
+// exists; rejecting here keeps malformed updates from creating one.
+func validateCounts(counts [][]int64, gpus int) error {
+	if len(counts) != gpus {
+		return codedf(CodeBadRouting, "counts must be a %d x %d gate-count matrix for this configuration, got %d rows",
+			gpus, gpus, len(counts))
+	}
+	total := int64(0)
+	for i, row := range counts {
+		if len(row) != gpus {
+			return codedf(CodeBadRouting, "counts row %d has %d entries, want %d", i, len(row), gpus)
+		}
+		for j, v := range row {
+			if v < 0 {
+				return codedf(CodeBadRouting, "counts[%d][%d] is negative (%d)", i, j, v)
+			}
+			if v > math.MaxInt64-total {
+				return codedf(CodeBadRouting, "counts total overflows int64 at [%d][%d]", i, j)
+			}
+			total += v
+		}
+	}
+	if total == 0 {
+		return codedf(CodeBadRouting, "counts carry no tokens")
+	}
+	return nil
+}
+
 func (s *Service) handleRouting(w http.ResponseWriter, r *http.Request) {
 	var u RoutingUpdate
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
@@ -238,8 +271,18 @@ func (s *Service) handleRouting(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if u.Plan.Routing != nil || u.Plan.Skew != 0 {
+		if u.Plan.Skew != 0 {
+			// The deprecated shorthand earns its sunset headers on every
+			// endpoint that sees it, rejections included.
+			setDeprecationHeaders(w, []string{"skew"})
+		}
 		writeError(w, http.StatusBadRequest,
 			codedf(CodeConflictingFields, "a drift plan's workload is the streamed counts; don't set routing or skew"))
+		return
+	}
+	if u.Plan.WhatIf != nil {
+		writeError(w, http.StatusBadRequest,
+			codedf(CodeConflictingFields, "a drift plan cannot carry a what_if scenario; the streamed histogram is shaped for the intact fleet"))
 		return
 	}
 	c, err := u.Plan.canonicalize()
@@ -247,10 +290,8 @@ func (s *Service) handleRouting(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	if len(u.Counts) != c.gpus {
-		writeError(w, http.StatusBadRequest,
-			codedf(CodeBadRouting, "counts must be a %d x %d gate-count matrix for this configuration, got %d rows",
-				c.gpus, c.gpus, len(u.Counts)))
+	if err := validateCounts(u.Counts, c.gpus); err != nil {
+		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	d, err := s.driftSessionFor(c)

@@ -2,6 +2,10 @@ package service
 
 import (
 	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 	"testing"
 )
 
@@ -49,6 +53,65 @@ func FuzzPlanRequest(f *testing.F) {
 		if c.planKey(c.framework) != c2.planKey(c2.framework) {
 			t.Fatalf("plan key unstable under echo round-trip:\n  %q\n  %q",
 				c.planKey(c.framework), c2.planKey(c2.framework))
+		}
+	})
+}
+
+// FuzzRoutingUpdate drives arbitrary gate-count matrices through the
+// /v1/routing handler and pins the validation bugfix's invariants: the
+// handler never panics, only 200/400/503 come back, anything accepted would
+// also pass the matrix validator (ragged rows, negative cells, and
+// overflowing totals are all turned away before a drift session exists),
+// and a rejected update never creates a drift session.
+func FuzzRoutingUpdate(f *testing.F) {
+	f.Add(uint8(16), []byte{1, 2, 3, 4}, false)
+	f.Add(uint8(16), []byte{255, 255, 255}, false)
+	f.Add(uint8(16), []byte{9}, true)
+	f.Add(uint8(3), []byte{1}, false)
+	f.Add(uint8(16), []byte{}, false)
+	f.Fuzz(func(t *testing.T, dims uint8, data []byte, negate bool) {
+		d := int(dims%24) + 1
+		counts := make([][]int64, d)
+		for i := range counts {
+			counts[i] = make([]int64, d)
+			for j := range counts[i] {
+				var v int64
+				if k := i*d + j; k < len(data) {
+					v = int64(data[k])
+					if v == 255 {
+						// Exercise the overflow guard with huge counts.
+						v = math.MaxInt64 / int64(d)
+					}
+				}
+				if negate && i == 0 && j == 0 {
+					v = -v
+				}
+				counts[i][j] = v
+			}
+		}
+		body, err := json.Marshal(RoutingUpdate{
+			Plan:   PlanRequest{Framework: "raf", Baseline: BaselineNone},
+			Counts: counts,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		svc := New(Config{Parallel: 1})
+		defer svc.Close()
+		rec := httptest.NewRecorder()
+		svc.Handler().ServeHTTP(rec,
+			httptest.NewRequest(http.MethodPost, "/v1/routing", strings.NewReader(string(body))))
+		switch rec.Code {
+		case http.StatusOK, http.StatusServiceUnavailable:
+			if err := validateCounts(counts, 16); err != nil {
+				t.Fatalf("handler accepted (status %d) counts the validator rejects: %v", rec.Code, err)
+			}
+		case http.StatusBadRequest:
+			if n := svc.Stats().Drift.Sessions; n != 0 {
+				t.Fatalf("rejected update created %d drift sessions", n)
+			}
+		default:
+			t.Fatalf("unexpected status %d: %s", rec.Code, rec.Body.String())
 		}
 	})
 }

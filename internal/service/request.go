@@ -2,6 +2,7 @@ package service
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"lancet"
@@ -29,6 +30,10 @@ type PlanOptions struct {
 	// class while simulation replays the real mix — the hetero-blind
 	// ablation of DESIGN.md §12.
 	AssumeUniformHardware bool `json:"assume_uniform_hardware,omitempty"`
+	// AssumeSoleTenancy plans as if this job owned the spine alone while
+	// simulation replays the contended fabric — the contention-blind
+	// ablation of DESIGN.md §17.
+	AssumeSoleTenancy bool `json:"assume_sole_tenancy,omitempty"`
 }
 
 func (o PlanOptions) toLancet() lancet.Options {
@@ -43,33 +48,43 @@ func (o PlanOptions) toLancet() lancet.Options {
 		AssumeUniformRouting:  o.AssumeUniformRouting,
 		AssumeFlatTopology:    o.AssumeFlatTopology,
 		AssumeUniformHardware: o.AssumeUniformHardware,
+		AssumeSoleTenancy:     o.AssumeSoleTenancy,
 	}
 }
 
 // TopologySpec selects the cluster's network hierarchy for /v1/plan and
-// /v1/sweep (DESIGN.md §11): nodes per rack switch and the spine's
-// oversubscription factor. Omitting it (or any spelling that leaves no pair
-// of GPUs behind an oversubscribed spine) selects the flat fabric, and all
-// flat spellings canonicalize to the same cache key. When Oversub > 1 and
-// NodesPerRack is unset, every node becomes its own rack, so the factor
-// applies to all inter-node traffic.
+// /v1/sweep (DESIGN.md §11): nodes per rack switch, the spine's
+// oversubscription factor, and the job's tenant share of the (possibly
+// contended) spine (DESIGN.md §17). Omitting it (or any spelling that
+// leaves no pair of GPUs behind a constrained spine) selects the flat
+// fabric, and all flat spellings canonicalize to the same cache key. When
+// Oversub > 1 or SpineShare < 1 and NodesPerRack is unset, every node
+// becomes its own rack, so the factor applies to all inter-node traffic.
 type TopologySpec struct {
 	NodesPerRack int     `json:"nodes_per_rack,omitempty"`
 	Oversub      float64 `json:"oversub,omitempty"`
+	SpineShare   float64 `json:"spine_share,omitempty"`
 }
 
 // toTopology resolves the request-layer defaulting (DefaultRacks: an
-// oversubscribed spec without a rack size means per-node racks).
+// oversubscribed or contended spec without a rack size means per-node
+// racks).
 func (t TopologySpec) toTopology() lancet.Topology {
-	return lancet.Topology{NodesPerRack: t.NodesPerRack, Oversubscription: t.Oversub}.DefaultRacks()
+	return lancet.Topology{NodesPerRack: t.NodesPerRack, Oversubscription: t.Oversub, SpineShare: t.SpineShare}.DefaultRacks()
 }
 
-// key is the topology spec's canonical cache-key fragment.
+// key is the topology spec's canonical cache-key fragment. Sole-tenant
+// specs keep the pre-contention key form, so existing cached entries stay
+// valid.
 func (t TopologySpec) key() string {
 	if t == (TopologySpec{}) {
 		return "flat"
 	}
-	return fmt.Sprintf("r%dxo%g", t.NodesPerRack, t.Oversub)
+	key := fmt.Sprintf("r%dxo%g", t.NodesPerRack, t.Oversub)
+	if t.SpineShare != 0 && t.SpineShare < 1 {
+		key += fmt.Sprintf("xs%g", t.SpineShare)
+	}
+	return key
 }
 
 // ClassSpec is one slice of a mixed-generation fleet for /v1/plan and
@@ -218,11 +233,25 @@ type PlanRequest struct {
 	Skew    float64      `json:"skew,omitempty"`
 	Routing *RoutingSpec `json:"routing,omitempty"`
 	// Topology is the cluster's network hierarchy (racks + spine
-	// oversubscription); nil selects the flat fabric.
+	// oversubscription + tenant share); nil selects the flat fabric.
 	Topology     *TopologySpec `json:"topology,omitempty"`
 	SharedExpert bool          `json:"shared_expert,omitempty"`
 	ZeRO3        bool          `json:"zero3,omitempty"`
 	Options      PlanOptions   `json:"options,omitempty"`
+	// WhatIf asks for a fleet scenario alongside the plan (DESIGN.md §17);
+	// nil plans the intact fleet only.
+	WhatIf *WhatIfSpec `json:"what_if,omitempty"`
+}
+
+// WhatIfSpec is /v1/plan's fleet-scenario field (DESIGN.md §17).
+// lost_nodes drops the listed global node indices from the planned
+// cluster: the response's result carries a what_if block comparing the
+// stale plan's degraded replay against a warm-started re-plan on the
+// survivors. Requires framework "lancet"; incompatible with the drift
+// loop's nested plan (the streamed histogram is shaped for the intact
+// fleet).
+type WhatIfSpec struct {
+	LostNodes []int `json:"lost_nodes"`
 }
 
 // BaselineNone disables the baseline comparison of /v1/plan.
@@ -244,6 +273,7 @@ type canonical struct {
 	routing     RoutingSpec
 	topo        TopologySpec // zero = flat; every flat spelling normalizes to it
 	opts        PlanOptions
+	lostNodes   []int // sorted, deduplicated what_if.lost_nodes; empty = no what-if
 
 	// profile, when set, replaces the routing spec as the workload: a
 	// streamed traffic snapshot from the drift loop (DESIGN.md §16). It is
@@ -341,10 +371,15 @@ func (r PlanRequest) canonicalize() (*canonical, error) {
 			return nil, coded(CodeBadTopology, err)
 		}
 		if !cl.FlatTopology() {
-			// Canonical non-flat form: the clamped rack size and the
-			// resolved oversubscription factor. Every spelling that leaves
-			// no spine bottleneck stays the zero (flat) spec.
+			// Canonical non-flat form: the clamped rack size, the resolved
+			// oversubscription factor, and the tenant share when it binds.
+			// Every spelling that leaves no spine bottleneck stays the zero
+			// (flat) spec, and sole-tenant spellings keep the
+			// pre-contention form.
 			c.topo = TopologySpec{NodesPerRack: cl.RackNodes(), Oversub: topo.Oversub()}
+			if share := topo.Share(); share < 1 {
+				c.topo.SpineShare = share
+			}
 		}
 	}
 	if cfg.BatchPerGPU <= 0 {
@@ -377,6 +412,30 @@ func (r PlanRequest) canonicalize() (*canonical, error) {
 				c.framework, BaselineNone)
 		}
 	}
+	if r.WhatIf != nil {
+		if c.framework != lancet.FrameworkLancet {
+			return nil, codedf(CodeConflictingFields, "what_if requires framework %q, got %q", lancet.FrameworkLancet, c.framework)
+		}
+		lost := append([]int(nil), r.WhatIf.LostNodes...)
+		sort.Ints(lost)
+		n := 0
+		for i, v := range lost {
+			if i == 0 || v != lost[n-1] {
+				lost[n] = v
+				n++
+			}
+		}
+		lost = lost[:n]
+		if len(lost) == 0 {
+			return nil, codedf(CodeBadRequest, "what_if.lost_nodes must name at least one node")
+		}
+		// RemoveNodes validates the indices against the resolved fleet
+		// (range and at-least-one-survivor).
+		if _, err := cl.RemoveNodes(lost); err != nil {
+			return nil, coded(CodeBadRequest, err)
+		}
+		c.lostNodes = lost
+	}
 	return c, nil
 }
 
@@ -404,6 +463,10 @@ func (c *canonical) echo() PlanRequest {
 		// would trip the exclusivity check on resubmission.
 		cluster, gpus = "", 0
 	}
+	var whatIf *WhatIfSpec
+	if len(c.lostNodes) > 0 {
+		whatIf = &WhatIfSpec{LostNodes: append([]int(nil), c.lostNodes...)}
+	}
 	return PlanRequest{
 		Model:        c.cfg.Name,
 		Cluster:      cluster,
@@ -419,6 +482,7 @@ func (c *canonical) echo() PlanRequest {
 		SharedExpert: c.cfg.SharedExpert,
 		ZeRO3:        c.cfg.ZeRO3,
 		Options:      c.opts,
+		WhatIf:       whatIf,
 	}
 }
 
@@ -470,5 +534,11 @@ func (c *canonical) planKey(framework string) string {
 	if framework != lancet.FrameworkLancet {
 		opts = PlanOptions{}
 	}
-	return fmt.Sprintf("%s|%s|seed%d|%+v", c.sessionKey(), framework, c.seed, opts)
+	key := fmt.Sprintf("%s|%s|seed%d|%+v", c.sessionKey(), framework, c.seed, opts)
+	if framework == lancet.FrameworkLancet && len(c.lostNodes) > 0 {
+		// The what-if block rides on the lancet plan's store entry; baseline
+		// entries stay shared with what-if-free requests.
+		key += fmt.Sprintf("|loss=%v", c.lostNodes)
+	}
+	return key
 }

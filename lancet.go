@@ -265,6 +265,12 @@ type Options struct {
 	// slow ones, and comparing it against the default quantifies what
 	// knowing the fleet mix buys.
 	AssumeUniformHardware bool
+	// AssumeSoleTenancy makes every optimization pass price the spine as if
+	// this job owned it alone — Topology.SpineShare read as 1 — while
+	// simulation still replays the contended fabric (DESIGN.md §17). The
+	// contention-blind planner ablation: a plan priced for the full spine
+	// under-partitions the inter-rack all-to-alls it will actually wait on.
+	AssumeSoleTenancy bool
 	// PlanProfile, when non-nil, makes the partition DP price all-to-alls
 	// against this routing profile instead of the session workload's own,
 	// while simulation still replays the session's real traffic. It
@@ -284,6 +290,19 @@ type Options struct {
 	// byte-identical to a hint-free run either way, which is why the
 	// serving layer's plan-store keys ignore it.
 	Hint []PipelineHint
+	// FixedPipelines replays a previous plan's chosen pipelines verbatim
+	// instead of running the partition DP: each range keeps its partition
+	// count (clamped to what the graph admits) and no partition decisions
+	// are revisited. This is the degraded-replay half of a node-loss
+	// what-if — "how does the stale plan behave on this fleet" — and takes
+	// precedence over Hint (DESIGN.md §17).
+	FixedPipelines []PipelineHint
+	// LostNodes lists global node indices to drop in a node-loss what-if
+	// (DESIGN.md §17). Session.Lancet ignores it — planning always targets
+	// the intact fleet; Session.NodeLoss (and the serving layer's
+	// what_if.lost_nodes field) consumes it to compare the stale plan's
+	// degraded replay against a warm-started re-plan on the survivors.
+	LostNodes []int
 }
 
 // PipelineHint is one chosen pipeline of a previous plan — the instruction
@@ -536,13 +555,16 @@ func (s *Session) routingContext() (*netsim.RoutingProfile, float64, error) {
 
 // blindCost returns the cost model a partially blind planner prices with:
 // the session's cluster stripped of its topology (flat fabric), its class
-// mix (uniform hardware), or both. Models are built lazily once per
-// blindness combination; when a requested blindness changes nothing about
-// the cluster, the shared model is returned.
-func (s *Session) blindCost(flat, uniform bool) *cost.Model {
+// mix (uniform hardware), its spine contention (sole tenancy), or any
+// combination. Models are built lazily once per blindness combination; when
+// a requested blindness changes nothing about the cluster, the shared model
+// is returned. Flat subsumes sole: stripping the whole topology also strips
+// its tenant share.
+func (s *Session) blindCost(flat, uniform, sole bool) *cost.Model {
 	flat = flat && !s.Cluster.FlatTopology()
 	uniform = uniform && s.Cluster.Heterogeneous()
-	if !flat && !uniform {
+	sole = sole && !flat && s.Cluster.Contended()
+	if !flat && !uniform && !sole {
 		return s.costRAF
 	}
 	cl := s.Cluster
@@ -554,6 +576,10 @@ func (s *Session) blindCost(flat, uniform bool) *cost.Model {
 	if uniform {
 		cl = cl.Uniform()
 		key += "+uniform"
+	}
+	if sole {
+		cl = cl.SoleTenant()
+		key += "+sole"
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -580,9 +606,10 @@ func (s *Session) Lancet(opts Options) (*Plan, error) {
 	}
 
 	// The passes price against planCost; simulation (plan.costs) always
-	// charges the cluster's real topology and fleet mix. The two differ
-	// only under the AssumeFlatTopology / AssumeUniformHardware ablations.
-	planCost := s.blindCost(opts.AssumeFlatTopology, opts.AssumeUniformHardware)
+	// charges the cluster's real topology, fleet mix and tenant share. The
+	// two differ only under the AssumeFlatTopology / AssumeUniformHardware /
+	// AssumeSoleTenancy ablations.
+	planCost := s.blindCost(opts.AssumeFlatTopology, opts.AssumeUniformHardware, opts.AssumeSoleTenancy)
 
 	if opts.PrioritizeAllToAll {
 		res, err := commprio.Run(g)
@@ -612,10 +639,17 @@ func (s *Session) Lancet(opts Options) (*Plan, error) {
 			MaxRangeGroups:   opts.MaxRangeGroups,
 			GatePartialBatch: s.Config.Gate.SupportsPartialBatch(),
 		}
-		if len(opts.Hint) > 0 {
+		if len(opts.Hint) > 0 && len(opts.FixedPipelines) == 0 {
 			popts.Hint = make([]partition.Range, len(opts.Hint))
 			for i, h := range opts.Hint {
 				popts.Hint[i] = partition.Range{Start: h.Start, End: h.End, K: h.K}
+			}
+		}
+		var fixed []partition.Range
+		if len(opts.FixedPipelines) > 0 {
+			fixed = make([]partition.Range, len(opts.FixedPipelines))
+			for i, h := range opts.FixedPipelines {
+				fixed[i] = partition.Range{Start: h.Start, End: h.End, K: h.K}
 			}
 		}
 		prof, frac, err := s.routingContext()
@@ -643,9 +677,17 @@ func (s *Session) Lancet(opts Options) (*Plan, error) {
 			popts.MaxPartitions = 8
 		}
 		// Paper Sec. 7: rho starts at 8 and halves (4, then 2) when the
-		// partition staging buffers would not fit in device memory.
+		// partition staging buffers would not fit in device memory. A fixed
+		// replay follows the same fallback: its Ks are clamped by the
+		// shrinking rho until the staging fits.
 		for {
-			res, err := partition.Run(g, planCost, popts)
+			var res *partition.Result
+			var err error
+			if fixed != nil {
+				res, err = partition.Replay(g, planCost, popts, fixed)
+			} else {
+				res, err = partition.Run(g, planCost, popts)
+			}
 			if err != nil {
 				return nil, fmt.Errorf("lancet: partition pass: %w", err)
 			}
